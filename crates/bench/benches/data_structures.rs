@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks: the paper's two cache data structures —
+//! xLRU's list+hashmap (O(1) ops) and Cafe's tree+hashmap (O(log n)
+//! insertions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vcdn_core::ds::{IndexedLruList, KeyedSet};
+use vcdn_types::{ChunkId, Timestamp, VideoId};
+
+const N: u64 = 100_000;
+
+fn chunk(i: u64) -> ChunkId {
+    ChunkId::new(VideoId(i / 64), (i % 64) as u32)
+}
+
+fn bench_lru_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexed_lru_list");
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("touch_insert", |b| {
+        b.iter_batched(
+            IndexedLruList::new,
+            |mut l| {
+                for i in 0..N {
+                    l.touch(chunk(i), Timestamp(i));
+                }
+                l
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("touch_move_to_front", |b| {
+        let mut warm = IndexedLruList::new();
+        for i in 0..N {
+            warm.touch(chunk(i), Timestamp(i));
+        }
+        b.iter_batched(
+            || warm.clone(),
+            |mut l| {
+                for i in 0..N {
+                    l.touch(chunk((i * 7919) % N), Timestamp(N + i));
+                }
+                l
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("pop_oldest", |b| {
+        let mut warm = IndexedLruList::new();
+        for i in 0..N {
+            warm.touch(chunk(i), Timestamp(i));
+        }
+        b.iter_batched(
+            || warm.clone(),
+            |mut l| {
+                while l.pop_oldest().is_some() {}
+                l
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_keyed_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyed_set");
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("insert", |b| {
+        b.iter_batched(
+            KeyedSet::new,
+            |mut s| {
+                for i in 0..N {
+                    s.insert(chunk(i), (i as f64 * 0.37) % 1e6);
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("rekey", |b| {
+        let mut warm = KeyedSet::new();
+        for i in 0..N {
+            warm.insert(chunk(i), i as f64);
+        }
+        b.iter_batched(
+            || warm.clone(),
+            |mut s| {
+                for i in 0..N {
+                    s.insert(chunk((i * 6151) % N), (N + i) as f64);
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("pop_smallest", |b| {
+        let mut warm = KeyedSet::new();
+        for i in 0..N {
+            warm.insert(chunk(i), (i as f64 * 0.61) % 1e6);
+        }
+        b.iter_batched(
+            || warm.clone(),
+            |mut s| {
+                while s.pop_smallest().is_some() {}
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru_list, bench_keyed_set);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation A5 — chunk size `K`.
+//!
+//! The paper uses K = 2 MB throughout ("e.g., 2 MB", §4). This sweep
+//! holds the disk's *byte* capacity constant while varying K: small
+//! chunks track intra-file popularity more precisely but multiply
+//! metadata; large chunks over-fetch partially requested data.
+//!
+//! Usage: `ablation_chunk_size [--scale f] [--days n] [--alpha a]`
+
+use vcdn_bench::{arg_days, arg_flag, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_sim::report::{eff, Table};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let alpha: f64 = arg_flag("alpha").unwrap_or(2.0);
+    let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("ablation A5: {} requests", trace.len());
+
+    let mut table = Table::new(vec!["K", "disk chunks", "xlru", "cafe", "psychic"]);
+    for mb in [1u64, 2, 4, 8] {
+        let k = ChunkSize::new(mb * 1024 * 1024).expect("non-zero");
+        let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+        let reports = run_paper_three(&trace, disk, k, costs);
+        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+        table.row(vec![
+            format!("{mb}MiB{}", if mb == 2 { " (paper)" } else { "" }),
+            disk.to_string(),
+            eff(e[0]),
+            eff(e[1]),
+            eff(e[2]),
+        ]);
+        eprintln!("  K={mb}MiB done");
+    }
+    println!("== Ablation A5: chunk size sweep (europe, alpha={alpha}, constant disk bytes) ==");
+    println!("{}", table.render());
+}

@@ -1,0 +1,147 @@
+//! Ablation A10 — why fixed-size chunks (paper §4).
+//!
+//! "To simplify the support for partial caching, we can divide the disk
+//! and the files into small chunks of fixed size K ... Doing so
+//! eliminates the inefficiencies of allocating/de-allocating disk blocks
+//! to segments of arbitrary sizes."
+//!
+//! This ablation drives the same cache-fill churn through a first-fit
+//! disk allocator twice: storing each fill as one variable-size segment
+//! (the watched byte range), and storing it as fixed 2 MiB chunks. It
+//! quantifies the tradeoff: variable segments suffer *external*
+//! fragmentation (allocation stalls, shattered free space), while fixed
+//! chunks pay a small bounded *internal* round-up waste and can never
+//! fragment externally — the paper's §4 choice.
+//!
+//! Usage: `ablation_chunking [--scale f] [--days n]`
+
+use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_sim::diskalloc::{AllocError, SegmentAllocator};
+use vcdn_sim::report::{bytes, Table};
+use vcdn_trace::ServerProfile;
+use vcdn_types::ChunkSize;
+
+/// Outcome of one storage-churn replay.
+struct ChurnStats {
+    /// Bytes the workload actually asked to store (pre round-up).
+    payload_bytes: u64,
+    /// Bytes allocated (chunked layouts round up: internal fragmentation).
+    stored_bytes: u64,
+    evicted_bytes: u64,
+    fragmentation_failures: u64,
+    peak_fragmentation: f64,
+}
+
+/// Replays the trace's fill stream: every first sight of a (video, range
+/// start) allocates; on failure, evict the oldest allocations until the
+/// fill fits. `granularity` = `None` stores variable-size segments,
+/// `Some(k)` stores ceil(len/k) fixed chunks.
+fn churn(trace: &vcdn_trace::Trace, capacity: u64, granularity: Option<u64>) -> ChurnStats {
+    let mut alloc = SegmentAllocator::new(capacity);
+    let mut next_id = 0u64;
+    let mut fifo: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    let mut stats = ChurnStats {
+        payload_bytes: 0,
+        stored_bytes: 0,
+        evicted_bytes: 0,
+        fragmentation_failures: 0,
+        peak_fragmentation: 0.0,
+    };
+    for r in &trace.requests {
+        if !seen.insert((r.video.0, r.bytes.start)) {
+            continue; // already stored once; cache-hit, no allocation churn
+        }
+        let len = r.byte_len();
+        stats.payload_bytes += len;
+        let pieces: Vec<u64> = match granularity {
+            None => vec![len],
+            Some(k) => {
+                let n = len.div_ceil(k);
+                (0..n).map(|_| k).collect()
+            }
+        };
+        for piece in pieces {
+            let piece = piece.min(capacity); // clamp absurd outliers
+            loop {
+                match alloc.alloc(next_id, piece) {
+                    Ok(_) => {
+                        fifo.push_back(next_id);
+                        next_id += 1;
+                        stats.stored_bytes += piece;
+                        break;
+                    }
+                    Err(AllocError::Fragmented) | Err(AllocError::NeedEviction) => {
+                        let Some(victim) = fifo.pop_front() else {
+                            break;
+                        };
+                        if let Some(freed) = alloc.free(victim) {
+                            stats.evicted_bytes += freed;
+                        }
+                    }
+                    Err(e) => panic!("unexpected allocator error: {e}"),
+                }
+            }
+            stats.peak_fragmentation = stats.peak_fragmentation.max(alloc.external_fragmentation());
+        }
+    }
+    stats.fragmentation_failures = alloc.fragmentation_failures;
+    stats
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days().min(14); // storage churn stabilises quickly
+    let k = ChunkSize::DEFAULT;
+    let capacity = scale.disk_chunks(PAPER_DISK_BYTES, k) * k.bytes();
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!(
+        "ablation A10: {} requests, {} disk",
+        trace.len(),
+        bytes(capacity)
+    );
+
+    let variable = churn(&trace, capacity, None);
+    eprintln!("  variable-size done");
+    let chunked = churn(&trace, capacity, Some(k.bytes()));
+    eprintln!("  chunked done");
+
+    let mut table = Table::new(vec![
+        "storage layout",
+        "stored",
+        "round-up waste",
+        "evicted",
+        "frag. failures",
+        "peak ext. frag.",
+    ]);
+    table.row(vec![
+        "variable-size segments".into(),
+        bytes(variable.stored_bytes),
+        bytes(variable.stored_bytes - variable.payload_bytes),
+        bytes(variable.evicted_bytes),
+        variable.fragmentation_failures.to_string(),
+        format!("{:.3}", variable.peak_fragmentation),
+    ]);
+    table.row(vec![
+        format!("fixed {k} chunks (paper)"),
+        bytes(chunked.stored_bytes),
+        bytes(chunked.stored_bytes - chunked.payload_bytes),
+        bytes(chunked.evicted_bytes),
+        chunked.fragmentation_failures.to_string(),
+        format!("{:.3}", chunked.peak_fragmentation),
+    ]);
+    println!("== Ablation A10: variable segments vs fixed chunks (europe fill churn) ==");
+    println!("{}", table.render());
+    let internal = chunked.stored_bytes - chunked.payload_bytes;
+    println!(
+        "the tradeoff, quantified: variable segments hit {} fragmentation \
+         stalls (peak external fragmentation {:.0}%) and need a free-list \
+         allocator; fixed chunks trade that for {} of bounded round-up \
+         waste ({:.1}% of payload) and O(1) fragmentation-free allocation — \
+         the paper's §4 choice.",
+        variable.fragmentation_failures,
+        variable.peak_fragmentation * 100.0,
+        bytes(internal),
+        internal as f64 / chunked.payload_bytes as f64 * 100.0
+    );
+}

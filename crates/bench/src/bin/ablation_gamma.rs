@@ -1,0 +1,47 @@
+//! Ablation A2 — Cafe's EWMA weight γ (Eq. 8).
+//!
+//! The paper fixes γ = 0.25 for all experiments. This sweep shows the
+//! sensitivity: small γ reacts slowly to popularity shifts, large γ
+//! overreacts to transient gaps.
+//!
+//! Usage: `ablation_gamma [--scale f] [--days n] [--alpha a]`
+
+use vcdn_bench::{arg_days, arg_flag, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_core::{CafeCache, CafeConfig};
+use vcdn_sim::report::{eff, Table};
+use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let alpha: f64 = arg_flag("alpha").unwrap_or(2.0);
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+    let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("ablation A2: {} requests, disk={disk}", trace.len());
+
+    let mut table = Table::new(vec!["gamma", "efficiency", "ingress%", "redirect%"]);
+    for gamma in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_gamma(gamma));
+        let r = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+        table.row(vec![
+            format!(
+                "{gamma}{}",
+                if (gamma - 0.25).abs() < 1e-9 {
+                    " (paper)"
+                } else {
+                    ""
+                }
+            ),
+            eff(r.efficiency()),
+            format!("{:.1}", r.ingress_pct()),
+            format!("{:.1}", r.redirect_pct()),
+        ]);
+        eprintln!("  gamma={gamma} done");
+    }
+    println!("== Ablation A2: Cafe EWMA gamma sweep (europe, alpha={alpha}) ==");
+    println!("{}", table.render());
+}

@@ -1,0 +1,44 @@
+//! Ablation A3 — Psychic's future-list bound `N`.
+//!
+//! The paper (§8) bounds `|L_x| ≤ N` for efficiency, "where N = 10 has
+//! proven sufficient in our experiments — no gain with higher values".
+//! This sweep verifies the knee.
+//!
+//! Usage: `ablation_psychic_n [--scale f] [--days n] [--alpha a]`
+
+use vcdn_bench::{arg_days, arg_flag, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_core::{PsychicCache, PsychicConfig};
+use vcdn_sim::report::{eff, Table};
+use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let alpha: f64 = arg_flag("alpha").unwrap_or(2.0);
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+    let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("ablation A3: {} requests, disk={disk}", trace.len());
+
+    let mut table = Table::new(vec!["N", "efficiency", "ingress%", "redirect%"]);
+    for n in [1usize, 2, 5, 10, 20, 50] {
+        let mut cache = PsychicCache::new(
+            PsychicConfig::new(disk, k, costs).with_future_list_bound(n),
+            &trace.requests,
+        );
+        let r = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+        table.row(vec![
+            format!("{n}{}", if n == 10 { " (paper)" } else { "" }),
+            eff(r.efficiency()),
+            format!("{:.1}", r.ingress_pct()),
+            format!("{:.1}", r.redirect_pct()),
+        ]);
+        eprintln!("  N={n} done");
+    }
+    println!("== Ablation A3: Psychic future-list bound N (europe, alpha={alpha}) ==");
+    println!("{}", table.render());
+    println!("paper anchor: N = 10 suffices; no gain with higher values");
+}

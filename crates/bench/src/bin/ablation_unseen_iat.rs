@@ -1,0 +1,49 @@
+//! Ablation A4 — Cafe's unseen-chunk IAT estimate (§6 optimisation).
+//!
+//! Cafe estimates the popularity of a never-seen chunk of a partially
+//! cached video as the largest IAT among that video's cached chunks.
+//! This ablation toggles the optimisation on the Figure 4 setup to show
+//! what it buys.
+//!
+//! Usage: `ablation_unseen_iat [--scale f] [--days n]`
+
+use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_core::{CafeCache, CafeConfig};
+use vcdn_sim::report::{eff, Table};
+use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let k = ChunkSize::DEFAULT;
+    let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("ablation A4: {} requests, disk={disk}", trace.len());
+
+    let mut table = Table::new(vec![
+        "alpha",
+        "estimate ON (paper)",
+        "estimate OFF",
+        "delta",
+    ]);
+    for alpha in [1.0, 2.0] {
+        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+        let mut on = CafeCache::new(CafeConfig::new(disk, k, costs));
+        let mut off =
+            CafeCache::new(CafeConfig::new(disk, k, costs).with_unseen_chunk_estimate(false));
+        let replayer = Replayer::new(ReplayConfig::new(k, costs));
+        let r_on = replayer.replay(&trace, &mut on);
+        let r_off = replayer.replay(&trace, &mut off);
+        table.row(vec![
+            format!("{alpha}"),
+            eff(r_on.efficiency()),
+            eff(r_off.efficiency()),
+            format!("{:+.3}", r_on.efficiency() - r_off.efficiency()),
+        ]);
+        eprintln!("  alpha={alpha} done");
+    }
+    println!("== Ablation A4: Cafe unseen-chunk IAT estimate (europe) ==");
+    println!("{}", table.render());
+}

@@ -1,0 +1,60 @@
+//! Ablation A1 — Cafe's look-ahead window `T`.
+//!
+//! The paper (§6) sets `T` to the cache age: "a natural choice ... which
+//! has yielded highest efficiencies in our experiments". This ablation
+//! compares that choice against fixed windows on the Figure 3 setup
+//! (Europe, 1 TB-scaled, α = 2).
+//!
+//! Usage: `ablation_window [--scale f] [--days n]`
+
+use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_core::{CafeCache, CafeConfig, WindowPolicy};
+use vcdn_sim::report::{eff, Table};
+use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel, DurationMs};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+    let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("ablation A1: {} requests, disk={disk}", trace.len());
+
+    let variants: Vec<(String, WindowPolicy)> = vec![
+        ("cache-age (paper)".into(), WindowPolicy::CacheAge),
+        (
+            "fixed 1h".into(),
+            WindowPolicy::Fixed(DurationMs::from_hours(1)),
+        ),
+        (
+            "fixed 6h".into(),
+            WindowPolicy::Fixed(DurationMs::from_hours(6)),
+        ),
+        (
+            "fixed 24h".into(),
+            WindowPolicy::Fixed(DurationMs::from_hours(24)),
+        ),
+        (
+            "fixed 72h".into(),
+            WindowPolicy::Fixed(DurationMs::from_hours(72)),
+        ),
+    ];
+    let mut table = Table::new(vec!["window", "efficiency", "ingress%", "redirect%"]);
+    for (name, window) in variants {
+        let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_window(window));
+        let r = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+        table.row(vec![
+            name.clone(),
+            eff(r.efficiency()),
+            format!("{:.1}", r.ingress_pct()),
+            format!("{:.1}", r.redirect_pct()),
+        ]);
+        eprintln!("  {name} done");
+    }
+    println!("== Ablation A1: Cafe look-ahead window T (europe, alpha=2) ==");
+    println!("{}", table.render());
+    println!("paper anchor: T = cache age yields the highest efficiency");
+}

@@ -1,0 +1,80 @@
+//! Extension E5 — hash-mod bucketing over co-located servers (§2,
+//! footnote 2).
+//!
+//! The paper recommends "bucketizing the large space of file IDs (e.g.,
+//! using hash-mod) ... for dividing the file ID space over co-located
+//! servers to balance load and minimize co-located duplicates". This
+//! experiment replays one location's trace through four co-located Cafe
+//! caches under (a) hash-mod sharding and (b) content-oblivious
+//! round-robin, and reports exactly those two quantities.
+//!
+//! Usage: `ext_colocated_shards [--scale f] [--days n] [--servers n]`
+
+use vcdn_bench::{arg_days, arg_flag, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_core::{CachePolicy, CafeCache, CafeConfig};
+use vcdn_sim::report::{eff, Table};
+use vcdn_sim::shard::{replay_colocated, Assignment};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel, TrafficCounter};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let servers: usize = arg_flag("servers").unwrap_or(4);
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+    // The location's total disk is 1 TB-scaled, split over the servers.
+    let per_server_disk = scale.disk_chunks(PAPER_DISK_BYTES, k) / servers as u64;
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!(
+        "ext E5: {} requests, {servers} servers x {per_server_disk} chunks",
+        trace.len()
+    );
+
+    let make = || -> Vec<Box<dyn CachePolicy>> {
+        (0..servers)
+            .map(|_| {
+                Box::new(CafeCache::new(CafeConfig::new(per_server_disk, k, costs)))
+                    as Box<dyn CachePolicy>
+            })
+            .collect()
+    };
+
+    let mut table = Table::new(vec![
+        "assignment",
+        "efficiency",
+        "duplicates",
+        "duplicate%",
+        "load imbalance",
+    ]);
+    for (name, assignment) in [
+        ("hash-mod shards (paper)", Assignment::Sharded),
+        ("round-robin", Assignment::RoundRobin),
+    ] {
+        let mut caches = make();
+        let rep = replay_colocated(&trace, &mut caches, assignment);
+        let combined = rep
+            .servers
+            .iter()
+            .fold(TrafficCounter::default(), |acc, s| acc + *s);
+        table.row(vec![
+            name.into(),
+            eff(combined.efficiency(costs)),
+            rep.duplicate_chunks().to_string(),
+            format!(
+                "{:.1}%",
+                rep.duplicate_chunks() as f64 / rep.distinct_cached_chunks.max(1) as f64 * 100.0
+            ),
+            format!("{:.3}", rep.load_imbalance()),
+        ]);
+        eprintln!("  {name} done");
+    }
+    println!("== Extension E5: co-located server assignment ({servers} servers) ==");
+    println!("{}", table.render());
+    println!(
+        "paper's footnote 2: hash-mod bucketing balances load and \
+         minimises co-located duplicates; the duplicated copies under \
+         round-robin waste disk that sharding turns into extra distinct \
+         content (higher efficiency)"
+    );
+}

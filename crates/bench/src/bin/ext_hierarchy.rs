@@ -1,0 +1,64 @@
+//! Extension E3 — a two-level cache hierarchy (§2's redirect targets,
+//! §10's CDN-wide direction).
+//!
+//! An ingress-constrained edge redirects to a deeper parent site. Sweeping
+//! the edge's α shows the system-level tradeoff the paper motivates:
+//! raising the edge α moves fills from the constrained edge uplink to the
+//! unconstrained parent, while the origin (CDN-egress) traffic stays
+//! bounded by the parent's depth.
+//!
+//! Usage: `ext_hierarchy [--scale f] [--days n]`
+
+use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_core::{CacheConfig, CafeCache, CafeConfig, XlruCache};
+use vcdn_sim::replay_hierarchy;
+use vcdn_sim::report::{bytes, Table};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let k = ChunkSize::DEFAULT;
+    let edge_disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+    let parent_disk = edge_disk * 4; // a "larger serving site" (§2)
+    let parent_costs = CostModel::balanced();
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!(
+        "ext E3: {} requests, edge={edge_disk} parent={parent_disk} chunks",
+        trace.len()
+    );
+
+    let mut table = Table::new(vec![
+        "edge alpha",
+        "edge fill",
+        "parent fill",
+        "origin",
+        "cdn hit rate",
+        "total cost (GB-eq)",
+    ]);
+    for alpha in [1.0, 2.0, 4.0] {
+        let edge_costs = CostModel::from_alpha(alpha).expect("valid alpha");
+        let mut edge = CafeCache::new(CafeConfig::new(edge_disk, k, edge_costs));
+        let mut parent = XlruCache::new(CacheConfig::new(parent_disk, k, parent_costs));
+        let r = replay_hierarchy(&trace, &mut edge, &mut parent);
+        let cost = r.total_cost(edge_costs.c_f(), parent_costs.c_f(), parent_costs.c_r())
+            / (1u64 << 30) as f64;
+        table.row(vec![
+            format!("{alpha}"),
+            bytes(r.edge.fill_bytes),
+            bytes(r.parent.fill_bytes),
+            bytes(r.origin_bytes),
+            format!("{:.3}", r.cdn_hit_rate()),
+            format!("{cost:.1}"),
+        ]);
+        eprintln!("  alpha={alpha} done");
+    }
+    println!("== Extension E3: two-level hierarchy (cafe edge -> xlru parent) ==");
+    println!("{}", table.render());
+    println!(
+        "expectation: edge fills shrink as the edge alpha grows, parent \
+         fills absorb the shifted load, origin traffic stays bounded by \
+         parent depth"
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 4 — "Efficiency of the algorithms for different
+//! ingress-to-redirect configuration" (European server, 1 TB disk).
+//!
+//! Each α ∈ {0.5, 1, 2, 4} produces one bar group (xLRU, Cafe, Psychic,
+//! left to right). Paper anchors: α=1 → Cafe 61 %, ≈2 % over xLRU;
+//! α=2 → xLRU 62 %, Cafe 73 %, Psychic 75 %; for α=0.5 a visible gap to
+//! Psychic remains because xLRU and Cafe intentionally never fill a file
+//! on its first-ever request.
+//!
+//! Usage: `fig4_alpha_sweep [--scale f] [--days n]`
+
+use vcdn_bench::{arg_days, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_sim::report::{eff, Table};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let k = ChunkSize::DEFAULT;
+    let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+
+    eprintln!(
+        "fig4: europe, {days} days, disk={disk} chunks (scale {})",
+        scale.0
+    );
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("trace: {} requests", trace.len());
+
+    let mut table = Table::new(vec!["alpha", "xlru", "cafe", "psychic", "cafe - xlru"]);
+    for alpha in [0.5, 1.0, 2.0, 4.0] {
+        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+        let reports = run_paper_three(&trace, disk, k, costs);
+        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+        table.row(vec![
+            format!("{alpha}"),
+            eff(e[0]),
+            eff(e[1]),
+            eff(e[2]),
+            format!("{:+.3}", e[1] - e[0]),
+        ]);
+        eprintln!("  alpha={alpha} done");
+    }
+    println!("== Figure 4: efficiency vs alpha_F2R (europe, 1 TB-scaled) ==");
+    println!("{}", table.render());
+    println!(
+        "paper anchors: alpha=1 -> cafe 0.61 (~+0.02 over xlru); \
+         alpha=2 -> 0.62 / 0.73 / 0.75"
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 6 — "Efficiency of the algorithms given different disk
+//! capacities" (European server, α_F2R = 2).
+//!
+//! Sweeps the disk from ¼× to 4× the paper's 1 TB reference (all scaled)
+//! and reports each algorithm's steady-state efficiency, plus the
+//! disk-multiplier analysis behind the paper's headline: "to achieve the
+//! same efficiency xLRU requires 2 to 3 times larger disk space than Cafe
+//! Cache" at α=2 (and only ≤33 % more at α=1 — printed with `--alpha 1`).
+//!
+//! Usage: `fig6_disk_sweep [--scale f] [--days n] [--alpha a]`
+
+use vcdn_bench::{arg_days, arg_flag, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_sim::report::{eff, Table};
+use vcdn_trace::ServerProfile;
+use vcdn_types::{ChunkSize, CostModel};
+
+/// Linear interpolation of the disk multiple at which `points` (sorted by
+/// disk) reaches `target` efficiency.
+fn disk_needed(points: &[(f64, f64)], target: f64) -> Option<f64> {
+    for w in points.windows(2) {
+        let ((d0, e0), (d1, e1)) = (w[0], w[1]);
+        if (e0..=e1).contains(&target) && e1 > e0 {
+            return Some(d0 + (d1 - d0) * (target - e0) / (e1 - e0));
+        }
+    }
+    None
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let days = arg_days();
+    let alpha: f64 = arg_flag("alpha").unwrap_or(2.0);
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+
+    eprintln!(
+        "fig6: europe, {days} days, alpha={alpha} (scale {})",
+        scale.0
+    );
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    eprintln!("trace: {} requests", trace.len());
+
+    let multiples = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let mut table = Table::new(vec!["disk (x 1TB)", "chunks", "xlru", "cafe", "psychic"]);
+    let mut xlru_pts = Vec::new();
+    let mut cafe_pts = Vec::new();
+    for m in multiples {
+        let disk = scale.disk_chunks((PAPER_DISK_BYTES as f64 * m) as u64, k);
+        let reports = run_paper_three(&trace, disk, k, costs);
+        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+        xlru_pts.push((m, e[0]));
+        cafe_pts.push((m, e[1]));
+        table.row(vec![
+            format!("{m}"),
+            disk.to_string(),
+            eff(e[0]),
+            eff(e[1]),
+            eff(e[2]),
+        ]);
+        eprintln!("  disk x{m} done");
+    }
+    println!("== Figure 6: efficiency vs disk capacity (alpha={alpha}) ==");
+    println!("{}", table.render());
+
+    // Disk-multiplier analysis: for each Cafe point, how much disk does
+    // xLRU need to match it?
+    let mut mult = Table::new(vec!["cafe disk", "cafe eff", "xlru disk needed", "ratio"]);
+    for &(d, e) in &cafe_pts {
+        if let Some(need) = disk_needed(&xlru_pts, e) {
+            mult.row(vec![
+                format!("{d}"),
+                eff(e),
+                format!("{need:.2}"),
+                format!("{:.2}x", need / d),
+            ]);
+        }
+    }
+    if !mult.is_empty() {
+        println!(
+            "== Disk xLRU needs to match Cafe (paper: 2-3x at alpha=2, <=1.33x at alpha=1) =="
+        );
+        println!("{}", mult.render());
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared harness for the figure-reproduction experiment binaries.
+//!
+//! Every binary in `src/bin/` reproduces one figure of the paper (see
+//! `DESIGN.md` §4 for the experiment index). This library centralises the
+//! pieces they share: the scale model mapping the paper's physical setup
+//! (1 TB disks, month-long traces) onto laptop-sized runs, trace
+//! construction per server profile, and the policy-factory used to run the
+//! same trace through xLRU, Cafe and Psychic.
+
+use vcdn_core::{
+    CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig,
+    XlruCache,
+};
+use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
+use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
+use vcdn_types::{ChunkSize, CostModel, DurationMs};
+
+/// The paper's reference disk size (Figures 3–5, 7): 1 TB.
+pub const PAPER_DISK_BYTES: u64 = 1024 * 1024 * 1024 * 1024;
+
+/// Experiment scale: all volumes (disk, catalog, request rate) shrink by
+/// the same linear factor, preserving the disk-to-working-set ratios that
+/// drive the paper's results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// The default experiment scale (1/16 of the paper's physical setup).
+    pub fn default_experiment() -> Self {
+        Scale(1.0 / 16.0)
+    }
+
+    /// Reads the scale from the first CLI argument (`--scale <f>`), if
+    /// present; falls back to the default.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                    assert!(v > 0.0 && v.is_finite(), "--scale must be positive");
+                    return Scale(v);
+                }
+            }
+        }
+        Self::default_experiment()
+    }
+
+    /// The scaled chunk count for a paper-scale disk of `bytes`.
+    pub fn disk_chunks(&self, bytes: u64, k: ChunkSize) -> u64 {
+        (((bytes as f64 * self.0) / k.bytes() as f64).round() as u64).max(1)
+    }
+
+    /// Scales a server profile's volume knobs.
+    pub fn profile(&self, p: ServerProfile) -> ServerProfile {
+        p.scaled(self.0)
+    }
+}
+
+/// The workload seed used across all experiments (recorded in
+/// `EXPERIMENTS.md`; change it and every number changes together).
+pub const EXPERIMENT_SEED: u64 = 20140413; // EuroSys'14 opening day
+
+/// Reads a `--name <value>` CLI flag.
+pub fn arg_flag<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .and_then(|w| w[1].parse().ok())
+}
+
+/// Whether a bare `--name` CLI switch is present.
+pub fn arg_switch(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Experiment duration in days (`--days`, default 30 — the paper's
+/// "one month period").
+pub fn arg_days() -> u64 {
+    arg_flag("days").unwrap_or(30)
+}
+
+/// Generates a scaled trace for a profile.
+pub fn trace_for(profile: ServerProfile, scale: Scale, days: u64) -> Trace {
+    TraceGenerator::new(scale.profile(profile), EXPERIMENT_SEED)
+        .generate(DurationMs::from_days(days))
+}
+
+/// The three algorithms of the paper's main experiments, in figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Baseline LRU (context only; not in the paper's figures).
+    Lru,
+    /// xLRU (§5).
+    Xlru,
+    /// Cafe (§6).
+    Cafe,
+    /// Psychic (§8).
+    Psychic,
+}
+
+impl Algo {
+    /// The paper's three compared algorithms, in bar-group order.
+    pub fn paper_three() -> [Algo; 3] {
+        [Algo::Xlru, Algo::Cafe, Algo::Psychic]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Lru => "lru",
+            Algo::Xlru => "xlru",
+            Algo::Cafe => "cafe",
+            Algo::Psychic => "psychic",
+        }
+    }
+
+    /// Builds the policy for a trace (Psychic needs the trace itself).
+    pub fn build(
+        &self,
+        trace: &Trace,
+        disk_chunks: u64,
+        k: ChunkSize,
+        costs: CostModel,
+    ) -> Box<dyn CachePolicy> {
+        let cache = CacheConfig::new(disk_chunks, k, costs);
+        match self {
+            Algo::Lru => Box::new(LruCache::new(cache)),
+            Algo::Xlru => Box::new(XlruCache::new(cache)),
+            Algo::Cafe => Box::new(CafeCache::new(CafeConfig {
+                cache,
+                ..CafeConfig::new(disk_chunks, k, costs)
+            })),
+            Algo::Psychic => Box::new(PsychicCache::new(
+                PsychicConfig::new(disk_chunks, k, costs),
+                &trace.requests,
+            )),
+        }
+    }
+}
+
+/// Replays `trace` through one algorithm and reports.
+pub fn run_algo(
+    algo: Algo,
+    trace: &Trace,
+    disk_chunks: u64,
+    k: ChunkSize,
+    costs: CostModel,
+) -> ReplayReport {
+    let mut policy = algo.build(trace, disk_chunks, k, costs);
+    Replayer::new(ReplayConfig::new(k, costs)).replay(trace, policy.as_mut())
+}
+
+/// Replays `trace` through xLRU, Cafe and Psychic (figure order), one
+/// worker thread per algorithm.
+pub fn run_paper_three(
+    trace: &Trace,
+    disk_chunks: u64,
+    k: ChunkSize,
+    costs: CostModel,
+) -> Vec<ReplayReport> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Algo::paper_three()
+            .into_iter()
+            .map(|a| scope.spawn(move || run_algo(a, trace, disk_chunks, k, costs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_paper_disk() {
+        let s = Scale(1.0 / 16.0);
+        let k = ChunkSize::DEFAULT;
+        // 1 TiB / 16 = 64 GiB = 32768 chunks of 2 MiB.
+        assert_eq!(s.disk_chunks(PAPER_DISK_BYTES, k), 32_768);
+        assert_eq!(Scale(1e-12).disk_chunks(PAPER_DISK_BYTES, k), 1);
+    }
+
+    #[test]
+    fn algo_names_and_order() {
+        let names: Vec<&str> = Algo::paper_three().iter().map(Algo::name).collect();
+        assert_eq!(names, vec!["xlru", "cafe", "psychic"]);
+        assert_eq!(Algo::Lru.name(), "lru");
+    }
+
+    #[test]
+    fn all_algorithms_replay_a_tiny_trace() {
+        let scale = Scale(1.0);
+        let trace = trace_for(ServerProfile::tiny_test(), scale, 1);
+        let k = ChunkSize::DEFAULT;
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        for algo in [Algo::Lru, Algo::Xlru, Algo::Cafe, Algo::Psychic] {
+            let report = run_algo(algo, &trace, 64, k, costs);
+            assert_eq!(report.policy, algo.name());
+            assert!(report.overall.total_requests() as usize == trace.len());
+        }
+    }
+}

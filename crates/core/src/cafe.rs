@@ -1,0 +1,847 @@
+//! The Cafe cache (paper §6): Chunk-Aware, Fill-Efficient.
+//!
+//! Cafe tracks popularity per *chunk* as an exponentially weighted moving
+//! average (EWMA) of inter-arrival times (Eq. 8), orders cached chunks by
+//! the *virtual timestamp* `key_x(t) = t − IAT_x(t)` (Eq. 9, whose pairwise
+//! order is evaluation-time invariant by Theorem 1), and decides
+//! serve-vs-redirect by comparing expected costs (Eqs. 6–7):
+//!
+//! ```text
+//! E[serve]    = |S′|·C_F + Σ_{x∈S″} (T/IAT_x)·min(C_F, C_R)
+//! E[redirect] = |S|·C_R  + Σ_{x∈S′} (T/IAT_x)·min(C_F, C_R)
+//! ```
+//!
+//! where `S` is the requested chunk set, `S′ ⊆ S` the missing chunks,
+//! `S″` the eviction candidates (`|S″| = |S′|`), and the look-ahead window
+//! `T` is the cache age (the paper's best-performing choice; a fixed
+//! window is available for the ablation study).
+//!
+//! The §6 optimisation — estimating the IAT of a never-seen chunk of a
+//! partially cached video as the largest IAT among that video's cached
+//! chunks — is implemented and can be toggled for ablation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use vcdn_types::{
+    ChunkId, ChunkSize, CostModel, Decision, DurationMs, Request, ServeOutcome, Timestamp, VideoId,
+};
+
+use crate::{
+    ds::KeyedSet,
+    policy::{CacheConfig, CachePolicy},
+};
+
+/// How many requests between popularity-state garbage sweeps.
+const CLEANUP_INTERVAL: u64 = 4096;
+/// Minimum inter-arrival time (ms) used in divisions.
+const MIN_IAT_MS: f64 = 1.0;
+
+/// Cafe's look-ahead window `T` in Eqs. 6–7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowPolicy {
+    /// `T` = the disk cache age — "a natural choice ... which has yielded
+    /// highest efficiencies in our experiments" (§6).
+    CacheAge,
+    /// A fixed window, for the ablation study (A1 in `DESIGN.md`).
+    Fixed(DurationMs),
+}
+
+/// Configuration of a [`CafeCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CafeConfig {
+    /// Disk size, chunk size and cost model.
+    pub cache: CacheConfig,
+    /// EWMA weight γ of Eq. 8 (paper: 0.25).
+    pub gamma: f64,
+    /// Look-ahead window policy (paper: cache age).
+    pub window: WindowPolicy,
+    /// Enables the unseen-chunk IAT estimate (§6 optimisation).
+    pub unseen_chunk_estimate: bool,
+}
+
+impl CafeConfig {
+    /// The paper's configuration: γ = 0.25, `T` = cache age, unseen-chunk
+    /// estimation on.
+    pub fn new(disk_chunks: u64, chunk_size: ChunkSize, costs: CostModel) -> Self {
+        CafeConfig {
+            cache: CacheConfig::new(disk_chunks, chunk_size, costs),
+            gamma: 0.25,
+            window: WindowPolicy::CacheAge,
+            unseen_chunk_estimate: true,
+        }
+    }
+
+    /// Overrides γ.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < gamma <= 1`.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(
+            gamma > 0.0 && gamma <= 1.0,
+            "gamma must be in (0, 1], got {gamma}"
+        );
+        self.gamma = gamma;
+        self
+    }
+
+    /// Overrides the look-ahead window policy.
+    pub fn with_window(mut self, window: WindowPolicy) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Toggles the unseen-chunk IAT estimate.
+    pub fn with_unseen_chunk_estimate(mut self, on: bool) -> Self {
+        self.unseen_chunk_estimate = on;
+        self
+    }
+}
+
+/// Per-chunk EWMA inter-arrival state (Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct IatState {
+    /// Last EWMA-ed inter-arrival time `dt_x` (ms); `None` until a second
+    /// access provides the first interval.
+    dt: Option<f64>,
+    /// Last access time `t_x`.
+    t_last: Timestamp,
+}
+
+impl IatState {
+    fn first_seen(t: Timestamp) -> Self {
+        IatState {
+            dt: None,
+            t_last: t,
+        }
+    }
+
+    /// Eq. 8 update on a new access at `t`:
+    /// `dt ← γ(t − t_x) + (1 − γ)·dt;  t_x ← t`.
+    fn update(&mut self, t: Timestamp, gamma: f64) {
+        let gap = (t - self.t_last).as_millis() as f64;
+        self.dt = Some(match self.dt {
+            Some(dt) => gamma * gap + (1.0 - gamma) * dt,
+            // First observed interval seeds the average.
+            None => gap,
+        });
+        self.t_last = t;
+    }
+
+    /// Eq. 8 query: `IAT_x(t) = γ(t − t_x) + (1 − γ)·dt` (ms), or `None`
+    /// while the chunk has been seen only once.
+    fn iat_at(&self, t: Timestamp, gamma: f64) -> Option<f64> {
+        self.dt.map(|dt| {
+            (gamma * (t - self.t_last).as_millis() as f64 + (1.0 - gamma) * dt).max(MIN_IAT_MS)
+        })
+    }
+
+    /// Eq. 9: the virtual-timestamp insertion key
+    /// `key_x(t) = t − IAT_x(t)`; falls back to `t − fallback_iat` when no
+    /// interval has been observed yet.
+    fn key_at(&self, t: Timestamp, gamma: f64, fallback_iat: f64) -> f64 {
+        let iat = self.iat_at(t, gamma).unwrap_or(fallback_iat);
+        t.as_millis() as f64 - iat
+    }
+}
+
+/// The Cafe cache.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_core::{CachePolicy, CafeCache, CafeConfig};
+/// use vcdn_types::{ByteRange, ChunkSize, CostModel, Request, Timestamp, VideoId};
+///
+/// let k = ChunkSize::new(100).unwrap();
+/// let costs = CostModel::from_alpha(2.0).unwrap();
+/// let mut cache = CafeCache::new(CafeConfig::new(4, k, costs));
+/// let r = Request::new(VideoId(1), ByteRange::new(0, 99).unwrap(), Timestamp(1));
+/// assert!(cache.handle_request(&r).is_serve()); // warm-up admits
+/// ```
+#[derive(Debug, Clone)]
+pub struct CafeCache {
+    config: CafeConfig,
+    /// EWMA popularity state for every recently seen chunk (cached or not).
+    iat: HashMap<ChunkId, IatState>,
+    /// Video-level last-seen tracker (drives the never-seen-video rule).
+    video_seen: HashMap<VideoId, Timestamp>,
+    /// Cached chunks ordered by virtual timestamp (Eq. 9).
+    disk: KeyedSet<ChunkId>,
+    /// Chunk indices cached per video (for the unseen-chunk estimate).
+    video_chunks: HashMap<VideoId, BTreeSet<u32>>,
+    handled: u64,
+    replay_start: Option<Timestamp>,
+}
+
+impl CafeCache {
+    /// Creates an empty cache.
+    pub fn new(config: CafeConfig) -> Self {
+        CafeCache {
+            config,
+            iat: HashMap::new(),
+            video_seen: HashMap::new(),
+            disk: KeyedSet::new(),
+            video_chunks: HashMap::new(),
+            handled: 0,
+            replay_start: None,
+        }
+    }
+
+    /// The virtual cache age at `now`: `now` minus the least popular cached
+    /// chunk's virtual timestamp. Because `IAT_x(t) = t − key_x`, this is
+    /// exactly the IAT of the least popular chunk (`IAT₀`).
+    pub fn cache_age_ms(&self, now: Timestamp) -> f64 {
+        match self.disk.smallest() {
+            Some((_, key)) => (now.as_millis() as f64 - key).max(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// The look-ahead window `T` (ms) per the configured policy.
+    fn window_ms(&self, now: Timestamp) -> f64 {
+        match self.config.window {
+            WindowPolicy::CacheAge => self.cache_age_ms(now),
+            WindowPolicy::Fixed(d) => d.as_millis() as f64,
+        }
+    }
+
+    /// The §6 estimate for a never-seen chunk of video `v`: the largest
+    /// IAT among `v`'s cached chunks, or `None` if `v` has none (or the
+    /// optimisation is disabled).
+    fn video_iat_estimate(&self, v: VideoId, now: Timestamp) -> Option<f64> {
+        if !self.config.unseen_chunk_estimate {
+            return None;
+        }
+        let chunks = self.video_chunks.get(&v)?;
+        let mut max_iat: Option<f64> = None;
+        for &c in chunks {
+            let id = ChunkId::new(v, c);
+            if let Some(iat) = self
+                .iat
+                .get(&id)
+                .and_then(|s| s.iat_at(now, self.config.gamma))
+            {
+                max_iat = Some(max_iat.map_or(iat, |m: f64| m.max(iat)));
+            }
+        }
+        max_iat
+    }
+
+    /// Expected count of near-future requests for a chunk with
+    /// inter-arrival `iat` over window `t_window`: `T / IAT_x` (Eqs. 6–7).
+    fn future_requests(t_window: f64, iat: Option<f64>) -> f64 {
+        match iat {
+            Some(iat) => t_window / iat.max(MIN_IAT_MS),
+            // Unknown IAT: no evidence of future demand.
+            None => 0.0,
+        }
+    }
+
+    fn remove_chunk(&mut self, id: ChunkId) {
+        self.disk.remove(&id);
+        if let Some(set) = self.video_chunks.get_mut(&id.video) {
+            set.remove(&id.index);
+            if set.is_empty() {
+                self.video_chunks.remove(&id.video);
+            }
+        }
+    }
+
+    fn insert_chunk(&mut self, id: ChunkId, key: f64) {
+        self.disk.insert(id, key);
+        self.video_chunks
+            .entry(id.video)
+            .or_default()
+            .insert(id.index);
+    }
+
+    /// Drops popularity state for chunks and videos not seen within twice
+    /// the cache age (and not currently cached).
+    fn cleanup(&mut self, now: Timestamp) {
+        let age = self.cache_age_ms(now);
+        if age <= 0.0 {
+            return;
+        }
+        let cutoff = Timestamp(now.as_millis().saturating_sub((2.0 * age) as u64));
+        let disk = &self.disk;
+        self.iat
+            .retain(|id, st| disk.contains(id) || st.t_last >= cutoff);
+        let video_chunks = &self.video_chunks;
+        self.video_seen
+            .retain(|v, t| video_chunks.contains_key(v) || *t >= cutoff);
+    }
+
+    /// Number of chunk popularity records currently held (for tests).
+    pub fn tracked_chunks(&self) -> usize {
+        self.iat.len()
+    }
+
+    /// Popularity entries sorted by chunk id (snapshot support).
+    pub(crate) fn iat_entries(&self) -> Vec<(ChunkId, Option<f64>, Timestamp)> {
+        let mut v: Vec<(ChunkId, Option<f64>, Timestamp)> = self
+            .iat
+            .iter()
+            .map(|(id, st)| (*id, st.dt, st.t_last))
+            .collect();
+        v.sort_by_key(|(id, _, _)| *id);
+        v
+    }
+
+    /// Video tracker entries sorted by video id (snapshot support).
+    pub(crate) fn video_seen_entries(&self) -> Vec<(VideoId, Timestamp)> {
+        let mut v: Vec<(VideoId, Timestamp)> =
+            self.video_seen.iter().map(|(id, t)| (*id, *t)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Cached chunks with their virtual keys, ascending (snapshot support).
+    pub(crate) fn disk_entries(&self) -> Vec<(ChunkId, f64)> {
+        self.disk.iter_ascending().collect()
+    }
+
+    /// Requests handled so far (snapshot support).
+    pub(crate) fn handled_count(&self) -> u64 {
+        self.handled
+    }
+
+    /// Replay start time (snapshot support).
+    pub(crate) fn replay_start_time(&self) -> Option<Timestamp> {
+        self.replay_start
+    }
+
+    /// Rebuilds a cache from persisted parts (validated by the snapshot
+    /// layer).
+    pub(crate) fn from_parts(
+        config: CafeConfig,
+        iat: &[(ChunkId, Option<f64>, Timestamp)],
+        video_seen: &[(VideoId, Timestamp)],
+        disk: &[(ChunkId, f64)],
+        handled: u64,
+        replay_start: Option<Timestamp>,
+    ) -> CafeCache {
+        let mut cache = CafeCache::new(config);
+        for &(id, dt, t_last) in iat {
+            cache.iat.insert(id, IatState { dt, t_last });
+        }
+        for &(v, t) in video_seen {
+            cache.video_seen.insert(v, t);
+        }
+        for &(id, key) in disk {
+            cache.insert_chunk(id, key);
+        }
+        cache.handled = handled;
+        cache.replay_start = replay_start;
+        cache
+    }
+
+    /// Replaces the fill/redirect cost model in place.
+    ///
+    /// Supports the paper's §10 "dynamic adjustment of α_F2R ... in a
+    /// small range through a control loop"; see
+    /// [`crate::control::ControlledCafeCache`]. Cached contents and
+    /// popularity state are untouched — only future admission decisions
+    /// change.
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.config.cache.costs = costs;
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &CafeConfig {
+        &self.config
+    }
+
+    /// The hottest tracked-but-uncached chunks: prefetch candidates for
+    /// the §10 "proactive caching" extension, ordered by ascending
+    /// inter-arrival time (hottest first). Scans the popularity table —
+    /// call this once per control window, not per request.
+    pub fn prefetch_candidates(&self, n: usize, now: Timestamp) -> Vec<(ChunkId, f64)> {
+        let gamma = self.config.gamma;
+        let mut hot: Vec<(ChunkId, f64)> = self
+            .iat
+            .iter()
+            .filter(|(id, _)| !self.disk.contains(id))
+            .filter_map(|(id, st)| st.iat_at(now, gamma).map(|iat| (*id, iat)))
+            .collect();
+        hot.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("IATs are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        hot.truncate(n);
+        hot
+    }
+
+    /// Proactively fills `chunk` (already known to the popularity
+    /// tracker), evicting the least popular cached chunk if the disk is
+    /// full. Returns the evicted chunk, or `None` if there was free
+    /// space; returns `Err(())` (no-op) if the chunk is already cached,
+    /// unknown to the tracker, or not more popular than the eviction
+    /// victim — prefetch must never make the cache worse.
+    #[allow(clippy::result_unit_err)]
+    pub fn prefetch(&mut self, chunk: ChunkId, now: Timestamp) -> Result<Option<ChunkId>, ()> {
+        if self.disk.contains(&chunk) {
+            return Err(());
+        }
+        let gamma = self.config.gamma;
+        let Some(iat) = self.iat.get(&chunk).and_then(|s| s.iat_at(now, gamma)) else {
+            return Err(());
+        };
+        let key = now.as_millis() as f64 - iat;
+        let evicted = if (self.disk.len() as u64) < self.config.cache.disk_chunks {
+            None
+        } else {
+            match self.disk.smallest() {
+                // Only displace strictly less popular content.
+                Some((victim, victim_key)) if victim_key < key => {
+                    self.remove_chunk(victim);
+                    Some(victim)
+                }
+                _ => return Err(()),
+            }
+        };
+        self.insert_chunk(chunk, key);
+        Ok(evicted)
+    }
+}
+
+impl CachePolicy for CafeCache {
+    fn handle_request(&mut self, request: &Request) -> Decision {
+        let now = request.t;
+        let gamma = self.config.gamma;
+        let k = self.config.cache.chunk_size;
+        let capacity = self.config.cache.disk_chunks;
+        let costs = self.config.cache.costs;
+        self.replay_start.get_or_insert(now);
+        self.handled += 1;
+        if self.handled.is_multiple_of(CLEANUP_INTERVAL) {
+            self.cleanup(now);
+        }
+
+        let range = request.chunk_range(k);
+        let mut present: Vec<ChunkId> = Vec::new();
+        let mut missing: Vec<ChunkId> = Vec::new();
+        for c in range.iter() {
+            let id = ChunkId::new(request.video, c);
+            if self.disk.contains(&id) {
+                present.push(id);
+            } else {
+                missing.push(id);
+            }
+        }
+        let s_total = (present.len() + missing.len()) as f64;
+
+        let video_known = self.video_seen.contains_key(&request.video)
+            || self.video_chunks.contains_key(&request.video);
+        let warmup = (self.disk.len() as u64) < capacity;
+
+        // Update popularity state for every requested chunk *before*
+        // deciding: like xLRU's Eq. 5, which scores a video by the current
+        // gap `t_now − t`, the arriving request is itself evidence — a
+        // chunk's second request immediately yields a usable IAT.
+        // (Demand is observed whether we end up serving or redirecting.)
+        for c in range.iter() {
+            let id = ChunkId::new(request.video, c);
+            self.iat
+                .entry(id)
+                .and_modify(|s| s.update(now, gamma))
+                .or_insert_with(|| IatState::first_seen(now));
+        }
+        self.video_seen.insert(request.video, now);
+
+        // Re-key present chunks to their refreshed virtual timestamps.
+        for id in &present {
+            let key = self.iat[id].key_at(now, gamma, 0.0);
+            self.disk.insert(*id, key);
+        }
+
+        let video_estimate = self.video_iat_estimate(request.video, now);
+        let serve = if warmup {
+            true
+        } else if !video_known {
+            // Never-seen file: intentionally not brought in (§9.2).
+            false
+        } else if missing.is_empty() {
+            true // full hit: serving costs nothing
+        } else {
+            let t_window = self.window_ms(now);
+            let evict_needed =
+                ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
+            let requested: BTreeSet<ChunkId> = present.iter().copied().collect();
+            let candidates = self
+                .disk
+                .smallest_excluding(evict_needed, |id| requested.contains(id));
+            let min_cost = costs.min_cost();
+
+            // Eq. 6: fill cost now + expected future cost of evictees.
+            let mut e_serve = missing.len() as f64 * costs.c_f();
+            for (id, _) in &candidates {
+                let iat = self.iat.get(id).and_then(|s| s.iat_at(now, gamma));
+                e_serve += Self::future_requests(t_window, iat) * min_cost;
+            }
+            // Eq. 7: redirect cost now + expected future cost of the
+            // still-missing chunks.
+            let mut e_redirect = s_total * costs.c_r();
+            for id in &missing {
+                let iat = self
+                    .iat
+                    .get(id)
+                    .and_then(|s| s.iat_at(now, gamma))
+                    .or(video_estimate);
+                e_redirect += Self::future_requests(t_window, iat) * min_cost;
+            }
+            e_serve <= e_redirect
+        };
+
+        if !serve {
+            return Decision::Redirect;
+        }
+        let video_estimate_after = video_estimate;
+
+        // Evict, then fill. Requests larger than the disk keep their tail.
+        let evict_needed =
+            ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
+        let requested: BTreeSet<ChunkId> = present.iter().copied().collect();
+        let victims = self
+            .disk
+            .smallest_excluding(evict_needed, |id| requested.contains(id));
+        let mut evicted = Vec::with_capacity(victims.len());
+        for (id, _) in victims {
+            self.remove_chunk(id);
+            evicted.push(id);
+        }
+        let free = capacity - self.disk.len() as u64;
+        let keep_from = missing.len().saturating_sub(free as usize);
+        for id in &missing[keep_from..] {
+            let fallback = video_estimate_after.unwrap_or(0.0);
+            let key = self.iat[id].key_at(now, gamma, fallback);
+            self.insert_chunk(*id, key);
+        }
+
+        Decision::Serve(ServeOutcome {
+            hit_chunks: present.len() as u64,
+            filled_chunks: missing.len() as u64,
+            evicted,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "cafe"
+    }
+
+    fn chunk_size(&self) -> ChunkSize {
+        self.config.cache.chunk_size
+    }
+
+    fn costs(&self) -> CostModel {
+        self.config.cache.costs
+    }
+
+    fn disk_used_chunks(&self) -> u64 {
+        self.disk.len() as u64
+    }
+
+    fn disk_capacity_chunks(&self) -> u64 {
+        self.config.cache.disk_chunks
+    }
+
+    fn contains_chunk(&self, chunk: ChunkId) -> bool {
+        self.disk.contains(&chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcdn_types::ByteRange;
+
+    fn req(video: u64, start: u64, end: u64, t: u64) -> Request {
+        Request::new(
+            VideoId(video),
+            ByteRange::new(start, end).unwrap(),
+            Timestamp(t),
+        )
+    }
+
+    fn cache(disk: u64, alpha: f64) -> CafeCache {
+        CafeCache::new(CafeConfig::new(
+            disk,
+            ChunkSize::new(100).unwrap(),
+            CostModel::from_alpha(alpha).unwrap(),
+        ))
+    }
+
+    /// Warm the disk full with `n` single-chunk videos at times t0, t0+gap, …
+    /// then re-request each once so their IATs become known.
+    fn warm(c: &mut CafeCache, n: u64, t0: u64, gap: u64) -> u64 {
+        for i in 0..n {
+            assert!(c.handle_request(&req(i, 0, 99, t0 + i * gap)).is_serve());
+        }
+        let t1 = t0 + n * gap;
+        for i in 0..n {
+            c.handle_request(&req(i, 0, 99, t1 + i * gap));
+        }
+        t1 + n * gap
+    }
+
+    #[test]
+    fn ewma_iat_update_matches_eq8() {
+        let mut s = IatState::first_seen(Timestamp(0));
+        assert_eq!(s.iat_at(Timestamp(10), 0.25), None);
+        s.update(Timestamp(100), 0.25); // first interval: dt = 100
+        assert!((s.dt.unwrap() - 100.0).abs() < 1e-9);
+        s.update(Timestamp(140), 0.25); // dt = 0.25*40 + 0.75*100 = 85
+        assert!((s.dt.unwrap() - 85.0).abs() < 1e-9);
+        // IAT at t=200: 0.25*(200-140) + 0.75*85 = 15 + 63.75 = 78.75.
+        assert!((s.iat_at(Timestamp(200), 0.25).unwrap() - 78.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_order_is_time_invariant_theorem1() {
+        // Random-ish pairs: the sign of key_x(t) - key_y(t) must not
+        // depend on t (Theorem 1).
+        let states = [
+            IatState {
+                dt: Some(50.0),
+                t_last: Timestamp(900),
+            },
+            IatState {
+                dt: Some(500.0),
+                t_last: Timestamp(990),
+            },
+            IatState {
+                dt: Some(5.0),
+                t_last: Timestamp(100),
+            },
+            IatState {
+                dt: Some(250.0),
+                t_last: Timestamp(750),
+            },
+        ];
+        let gamma = 0.25;
+        for a in &states {
+            for b in &states {
+                let d1 =
+                    a.key_at(Timestamp(1_000), gamma, 0.0) - b.key_at(Timestamp(1_000), gamma, 0.0);
+                let d2 = a.key_at(Timestamp(50_000), gamma, 0.0)
+                    - b.key_at(Timestamp(50_000), gamma, 0.0);
+                assert!(
+                    (d1 - d2).abs() < 1e-6,
+                    "key difference changed over time: {d1} vs {d2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_admits_everything() {
+        let mut c = cache(4, 2.0);
+        for i in 0..4 {
+            assert!(c.handle_request(&req(i, 0, 99, i + 1)).is_serve());
+        }
+        assert_eq!(c.disk_used_chunks(), 4);
+    }
+
+    #[test]
+    fn never_seen_video_redirected_once_full() {
+        let mut c = cache(2, 1.0);
+        warm(&mut c, 2, 1, 10);
+        assert!(c.handle_request(&req(50, 0, 99, 1_000)).is_redirect());
+        // ...but demand is recorded, so a prompt re-request can qualify.
+        assert!(c.video_seen.contains_key(&VideoId(50)));
+    }
+
+    #[test]
+    fn popular_video_admitted_after_second_request() {
+        let mut c = cache(2, 1.0);
+        let t = warm(&mut c, 2, 1, 1_000); // cached videos have IAT ~2000ms
+                                           // Video 9 requested twice 10ms apart: far more popular than
+                                           // the cache contents; must be admitted on the second request.
+        assert!(c.handle_request(&req(9, 0, 99, t + 10_000)).is_redirect());
+        let d = c.handle_request(&req(9, 0, 99, t + 10_010));
+        assert!(d.is_serve(), "hot new video should be filled");
+    }
+
+    #[test]
+    fn unpopular_video_stays_redirected_under_high_alpha() {
+        let mut c = cache(2, 4.0);
+        let t = warm(&mut c, 2, 1, 10); // cache holds very hot chunks
+                                        // Keep the cached chunks hot while the candidate stays lukewarm.
+        let mut now = t;
+        for round in 0..5u64 {
+            for i in 0..2 {
+                c.handle_request(&req(i, 0, 99, now + i));
+            }
+            // Candidate video arrives every ~5000ms: colder than contents.
+            let d = c.handle_request(&req(9, 0, 99, now + 5));
+            if round > 0 {
+                assert!(
+                    d.is_redirect(),
+                    "cold video admitted over hot contents at round {round}"
+                );
+            }
+            now += 5_000;
+        }
+    }
+
+    #[test]
+    fn full_hit_served_even_for_cold_video() {
+        let mut c = cache(2, 4.0);
+        warm(&mut c, 2, 1, 10);
+        // Chunk of video 0 is cached: requesting it alone is a pure hit.
+        let d = c.handle_request(&req(0, 0, 99, 1_000_000));
+        let o = d.serve_outcome().unwrap();
+        assert_eq!((o.hit_chunks, o.filled_chunks), (1, 0));
+        assert!(o.evicted.is_empty());
+    }
+
+    #[test]
+    fn eviction_takes_least_popular_chunk() {
+        let mut c = cache(2, 1.0);
+        // Video 0 very hot (IAT 10ms), video 1 cold (IAT 5000ms).
+        c.handle_request(&req(0, 0, 99, 0));
+        c.handle_request(&req(1, 0, 99, 1));
+        for t in (10..200).step_by(10) {
+            c.handle_request(&req(0, 0, 99, t));
+        }
+        c.handle_request(&req(1, 0, 99, 5_000));
+        c.handle_request(&req(0, 0, 99, 5_010));
+        // New hot video 9 (requested twice quickly) must evict video 1.
+        c.handle_request(&req(9, 0, 99, 5_020));
+        let d = c.handle_request(&req(9, 0, 99, 5_040));
+        let o = d.serve_outcome().unwrap();
+        assert!(d.is_serve());
+        assert_eq!(o.evicted, vec![ChunkId::new(VideoId(1), 0)]);
+        assert!(c.contains_chunk(ChunkId::new(VideoId(0), 0)));
+    }
+
+    #[test]
+    fn capacity_never_exceeded_under_churn() {
+        let mut c = cache(4, 2.0);
+        let mut t = 1;
+        for round in 0..100u64 {
+            for v in 0..6 {
+                c.handle_request(&req(v, 0, 299, t));
+                t += 13 + (round * v) % 7;
+                assert!(c.disk_used_chunks() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_chunk_estimate_extends_video_popularity() {
+        // A video with hot cached chunk 0 requests unseen chunk 1: with the
+        // estimate the request can be admitted; without it the unknown
+        // chunk carries no future value.
+        let run = |estimate: bool| -> bool {
+            let mut c = CafeCache::new(
+                CafeConfig::new(
+                    4,
+                    ChunkSize::new(100).unwrap(),
+                    CostModel::from_alpha(0.9).unwrap(),
+                )
+                .with_unseen_chunk_estimate(estimate),
+            );
+            // Fill disk with 4 single-chunk videos, make them moderately
+            // popular (IAT 1000ms).
+            for i in 0..4 {
+                c.handle_request(&req(i, 0, 99, i));
+            }
+            for i in 0..4 {
+                c.handle_request(&req(i, 0, 99, 1_000 + i));
+            }
+            // Video 0 becomes very hot.
+            for t in (2_000..4_000).step_by(100) {
+                c.handle_request(&req(0, 0, 99, t));
+            }
+            // Now video 0's *second* chunk is requested (never seen).
+            let d = c.handle_request(&req(0, 100, 199, 4_000));
+            d.is_serve()
+        };
+        assert!(run(true), "estimate should admit the sibling chunk");
+        // Note: without the estimate the same request is weighed with no
+        // future value for the unseen chunk; under these IATs it redirects.
+        assert!(!run(false), "without estimate the sibling chunk is cold");
+    }
+
+    #[test]
+    fn alpha_scales_ingress_aggressiveness() {
+        // The same mildly-popular video is admitted at alpha=0.5 but not at
+        // alpha=4 (ingress-constrained).
+        let run = |alpha: f64| -> bool {
+            let mut c = cache(2, alpha);
+            let t = warm(&mut c, 2, 1, 500); // contents at IAT ~1000
+            c.handle_request(&req(9, 0, 99, t + 2_000));
+            c.handle_request(&req(9, 0, 99, t + 4_000)) // IAT 2000: colder
+                .is_serve()
+        };
+        assert!(run(0.5), "cheap ingress should admit");
+        assert!(!run(4.0), "constrained ingress should redirect");
+    }
+
+    #[test]
+    fn cleanup_drops_stale_chunk_state() {
+        let mut c = cache(2, 1.0);
+        warm(&mut c, 2, 1, 10);
+        // One stale chunk record.
+        c.handle_request(&req(77, 0, 99, 100));
+        // Keep cache age small and clock moving: run many hot requests.
+        let mut t = 200;
+        for _ in 0..2 * CLEANUP_INTERVAL {
+            c.handle_request(&req(0, 0, 99, t));
+            c.handle_request(&req(1, 0, 99, t + 1));
+            t += 10;
+        }
+        assert!(
+            !c.iat.contains_key(&ChunkId::new(VideoId(77), 0)),
+            "stale chunk state survived cleanup"
+        );
+        assert!(!c.video_seen.contains_key(&VideoId(77)));
+        // Cached chunks' state always survives.
+        assert!(c.iat.contains_key(&ChunkId::new(VideoId(0), 0)));
+    }
+
+    #[test]
+    fn oversized_request_keeps_tail() {
+        let mut c = cache(2, 1.0);
+        let d = c.handle_request(&req(1, 0, 499, 1));
+        let o = d.serve_outcome().unwrap();
+        assert_eq!(o.filled_chunks, 5);
+        assert_eq!(c.disk_used_chunks(), 2);
+        assert!(c.contains_chunk(ChunkId::new(VideoId(1), 4)));
+        assert!(!c.contains_chunk(ChunkId::new(VideoId(1), 0)));
+    }
+
+    #[test]
+    fn cache_age_is_iat_of_least_popular() {
+        let mut c = cache(2, 1.0);
+        c.handle_request(&req(0, 0, 99, 0));
+        c.handle_request(&req(1, 0, 99, 100));
+        // Keys: both inserted with fallback IAT 0 -> key = insert time.
+        // Cache age at t=500 = 500 - min key = 500.
+        assert!((c.cache_age_ms(Timestamp(500)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_validation() {
+        let cfg = CafeConfig::new(1, ChunkSize::DEFAULT, CostModel::balanced());
+        assert!((cfg.gamma - 0.25).abs() < 1e-12);
+        let cfg = cfg.with_gamma(0.5);
+        assert!((cfg.gamma - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in")]
+    fn bad_gamma_rejected() {
+        let _ = CafeConfig::new(1, ChunkSize::DEFAULT, CostModel::balanced()).with_gamma(0.0);
+    }
+
+    #[test]
+    fn fixed_window_policy_honoured() {
+        let cfg = CafeConfig::new(2, ChunkSize::new(100).unwrap(), CostModel::balanced())
+            .with_window(WindowPolicy::Fixed(DurationMs::from_secs(9)));
+        let c = CafeCache::new(cfg);
+        assert!((c.window_ms(Timestamp(1_000_000)) - 9_000.0).abs() < 1e-9);
+    }
+}

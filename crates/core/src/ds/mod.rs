@@ -1,0 +1,11 @@
+//! Cache-internal data structures.
+//!
+//! * [`IndexedLruList`] — xLRU's linked list + hash map (paper §5).
+//! * [`KeyedSet`] — Cafe's binary-tree set + hash map over virtual
+//!   timestamps (paper §6).
+
+pub mod keyed_set;
+pub mod lru_list;
+
+pub use keyed_set::{KeyedSet, OrdF64};
+pub use lru_list::IndexedLruList;

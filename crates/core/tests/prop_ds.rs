@@ -1,0 +1,144 @@
+//! Property-based tests: the cache data structures against naive models.
+
+use proptest::prelude::*;
+use vcdn_core::ds::{IndexedLruList, KeyedSet};
+use vcdn_types::Timestamp;
+
+/// Operations applicable to both the LRU list and its reference model.
+#[derive(Debug, Clone)]
+enum LruOp {
+    Touch(u8),
+    PopOldest,
+    Remove(u8),
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0u8..24).prop_map(LruOp::Touch),
+        Just(LruOp::PopOldest),
+        (0u8..24).prop_map(LruOp::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lru_list_matches_model(ops in proptest::collection::vec(lru_op(), 1..400)) {
+        let mut lru: IndexedLruList<u8> = IndexedLruList::new();
+        // Model: Vec ordered newest-first.
+        let mut model: Vec<(u8, Timestamp)> = Vec::new();
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            let t = Timestamp(clock);
+            match op {
+                LruOp::Touch(k) => {
+                    lru.touch(k, t);
+                    model.retain(|(mk, _)| *mk != k);
+                    model.insert(0, (k, t));
+                }
+                LruOp::PopOldest => {
+                    prop_assert_eq!(lru.pop_oldest(), model.pop());
+                }
+                LruOp::Remove(k) => {
+                    let want = model
+                        .iter()
+                        .position(|(mk, _)| *mk == k)
+                        .map(|i| model.remove(i).1);
+                    prop_assert_eq!(lru.remove(&k), want);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            prop_assert_eq!(lru.oldest().map(|(k, t)| (*k, t)), model.last().copied());
+            prop_assert_eq!(lru.newest_time(), model.first().map(|(_, t)| *t));
+            let got: Vec<(u8, Timestamp)> = lru.iter().map(|(k, t)| (*k, t)).collect();
+            prop_assert_eq!(got, model.clone());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(u8, i32),
+    Remove(u8),
+    PopSmallest,
+    PopLargest,
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        ((0u8..24), (-1000i32..1000)).prop_map(|(k, v)| SetOp::Insert(k, v)),
+        (0u8..24).prop_map(SetOp::Remove),
+        Just(SetOp::PopSmallest),
+        Just(SetOp::PopLargest),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn keyed_set_matches_model(ops in proptest::collection::vec(set_op(), 1..400)) {
+        let mut set: KeyedSet<u8> = KeyedSet::new();
+        let mut model: std::collections::HashMap<u8, f64> = std::collections::HashMap::new();
+        let min_of = |m: &std::collections::HashMap<u8, f64>| {
+            m.iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN").then(a.0.cmp(b.0)))
+                .map(|(k, v)| (*k, *v))
+        };
+        let max_of = |m: &std::collections::HashMap<u8, f64>| {
+            m.iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN").then(a.0.cmp(b.0)))
+                .map(|(k, v)| (*k, *v))
+        };
+        for op in ops {
+            match op {
+                SetOp::Insert(k, v) => {
+                    let key = v as f64 / 8.0;
+                    set.insert(k, key);
+                    model.insert(k, key);
+                }
+                SetOp::Remove(k) => {
+                    prop_assert_eq!(set.remove(&k), model.remove(&k));
+                }
+                SetOp::PopSmallest => {
+                    let want = min_of(&model);
+                    prop_assert_eq!(set.pop_smallest(), want);
+                    if let Some((k, _)) = want {
+                        model.remove(&k);
+                    }
+                }
+                SetOp::PopLargest => {
+                    let want = max_of(&model);
+                    prop_assert_eq!(set.pop_largest(), want);
+                    if let Some((k, _)) = want {
+                        model.remove(&k);
+                    }
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.smallest(), min_of(&model));
+            prop_assert_eq!(set.largest(), max_of(&model));
+            // Ascending iteration is sorted and complete.
+            let keys: Vec<f64> = set.iter_ascending().map(|(_, k)| k).collect();
+            prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(keys.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn smallest_excluding_is_sound(
+        entries in proptest::collection::hash_map(0u8..40, -100i32..100, 0..30),
+        n in 0usize..10,
+        threshold in 0u8..40,
+    ) {
+        let mut set: KeyedSet<u8> = KeyedSet::new();
+        for (&k, &v) in &entries {
+            set.insert(k, v as f64);
+        }
+        let picked = set.smallest_excluding(n, |k| *k < threshold);
+        // No excluded items, at most n, ascending, and minimal.
+        prop_assert!(picked.len() <= n);
+        prop_assert!(picked.iter().all(|(k, _)| *k >= threshold));
+        prop_assert!(picked.windows(2).all(|w| w[0].1 <= w[1].1));
+        let eligible = entries.iter().filter(|(k, _)| **k >= threshold).count();
+        prop_assert_eq!(picked.len(), n.min(eligible));
+    }
+}

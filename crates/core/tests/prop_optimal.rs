@@ -1,0 +1,119 @@
+//! Property-based tests for the Optimal cache's LP builders: formulation
+//! equivalence and the lower-bound guarantee, over random request streams.
+
+use proptest::prelude::*;
+use vcdn_core::{
+    lp_bound_paper, lp_bound_reduced, CacheConfig, CachePolicy, LruCache, PsychicCache,
+    PsychicConfig, XlruCache,
+};
+use vcdn_types::{ByteRange, ChunkSize, CostModel, Decision, Request, Timestamp, VideoId};
+
+fn k() -> ChunkSize {
+    ChunkSize::new(100).expect("non-zero")
+}
+
+/// Small random request streams: few videos, short ranges, rising time.
+fn requests(max_len: usize) -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec((0u64..4, 0u64..4, 0u64..3, 1u64..30), 1..max_len).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(video, chunk0, extra, gap)| {
+                t += gap;
+                let start = chunk0 * 100;
+                let end = start + extra * 100 + 99;
+                Request::new(
+                    VideoId(video),
+                    ByteRange::new(start, end).expect("start <= end"),
+                    Timestamp(t),
+                )
+            })
+            .collect()
+    })
+}
+
+fn alpha() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.5), Just(1.0), Just(2.0)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn formulations_reach_the_same_optimum(
+        reqs in requests(14),
+        a in alpha(),
+        disk in 1u64..6,
+    ) {
+        let costs = CostModel::from_alpha(a).expect("valid alpha");
+        let cfg = CacheConfig::new(disk, k(), costs);
+        let paper = lp_bound_paper(&reqs, &cfg).expect("paper LP solves");
+        let reduced = lp_bound_reduced(&reqs, &cfg).expect("reduced LP solves");
+        prop_assert!(
+            (paper.lp_cost - reduced.lp_cost).abs() < 1e-5,
+            "paper {} vs reduced {}",
+            paper.lp_cost,
+            reduced.lp_cost
+        );
+        prop_assert_eq!(paper.total_requested_chunks, reduced.total_requested_chunks);
+    }
+
+    #[test]
+    fn lp_cost_lower_bounds_online_schedules(
+        reqs in requests(30),
+        a in alpha(),
+        // Disk must be at least the largest request (3 chunks): the IP's
+        // constraint (10d) cannot express fill-through serving of
+        // requests larger than the disk, which online caches do perform.
+        disk in 3u64..8,
+    ) {
+        let costs = CostModel::from_alpha(a).expect("valid alpha");
+        let cfg = CacheConfig::new(disk, k(), costs);
+        let bound = lp_bound_reduced(&reqs, &cfg).expect("reduced LP solves");
+        let mut policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(LruCache::new(cfg)),
+            Box::new(XlruCache::new(cfg)),
+            Box::new(PsychicCache::new(
+                PsychicConfig::new(disk, k(), costs),
+                &reqs,
+            )),
+        ];
+        for p in &mut policies {
+            let mut cost = 0.0;
+            for r in &reqs {
+                match p.handle_request(r) {
+                    Decision::Serve(o) => cost += o.filled_chunks as f64 * costs.c_f(),
+                    Decision::Redirect => {
+                        cost += r.chunk_len(k()) as f64 * costs.c_r();
+                    }
+                }
+            }
+            prop_assert!(
+                bound.lp_cost <= cost + 1e-6,
+                "{}: LP {} > achieved {}",
+                p.name(),
+                bound.lp_cost,
+                cost
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_within_metric_range(
+        reqs in requests(25),
+        a in alpha(),
+        disk in 1u64..8,
+    ) {
+        let costs = CostModel::from_alpha(a).expect("valid alpha");
+        let cfg = CacheConfig::new(disk, k(), costs);
+        let bound = lp_bound_reduced(&reqs, &cfg).expect("reduced LP solves");
+        prop_assert!(bound.lp_cost >= -1e-9);
+        prop_assert!(bound.efficiency_upper_bound <= 1.0 + 1e-9);
+        prop_assert!(bound.efficiency_upper_bound >= -1.0 - 1e-9);
+        // Cost never exceeds redirect-everything.
+        let all_redirect: f64 = reqs
+            .iter()
+            .map(|r| r.chunk_len(k()) as f64 * costs.c_r())
+            .sum();
+        prop_assert!(bound.lp_cost <= all_redirect + 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the cache policies themselves: contract
+//! invariants under arbitrary (time-ordered) request sequences.
+
+use proptest::prelude::*;
+use vcdn_core::{
+    CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig,
+    XlruCache,
+};
+use vcdn_types::{ByteRange, ChunkSize, CostModel, Decision, Request, Timestamp, VideoId};
+
+fn k() -> ChunkSize {
+    ChunkSize::new(100).expect("non-zero")
+}
+
+/// A random time-ordered request sequence over a small universe.
+fn requests() -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec((0u64..8, 0u64..900, 1u64..400, 1u64..50), 1..120).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(video, start, len, gap)| {
+                t += gap;
+                Request::new(
+                    VideoId(video),
+                    ByteRange::new(start, start + len).expect("start <= end"),
+                    Timestamp(t),
+                )
+            })
+            .collect()
+    })
+}
+
+fn alpha() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.5), Just(1.0), Just(2.0), Just(4.0)]
+}
+
+/// Exercises one policy against the CachePolicy contract.
+fn check_contract(policy: &mut dyn CachePolicy, reqs: &[Request]) -> Result<(), TestCaseError> {
+    let mut present: std::collections::HashSet<vcdn_types::ChunkId> =
+        std::collections::HashSet::new();
+    for r in reqs {
+        let chunks = r.chunk_len(k());
+        match policy.handle_request(r) {
+            Decision::Serve(o) => {
+                // Serve covers the whole request.
+                prop_assert_eq!(o.served_chunks(), chunks);
+                // Evicted chunks were previously present (fills are
+                // genuinely stored and victims come from cached content)
+                // and are no longer contained.
+                for e in &o.evicted {
+                    prop_assert!(present.remove(e), "evicted never-present {e}");
+                    prop_assert!(!policy.contains_chunk(*e));
+                }
+                for c in r.chunk_range(k()).iter() {
+                    let id = vcdn_types::ChunkId::new(r.video, c);
+                    if policy.contains_chunk(id) {
+                        present.insert(id);
+                    } else {
+                        present.remove(&id);
+                    }
+                }
+            }
+            Decision::Redirect => {}
+        }
+        // Capacity invariant.
+        prop_assert!(policy.disk_used_chunks() <= policy.disk_capacity_chunks());
+        // Shadow set consistency: everything we believe present is
+        // reported as contained (the reverse need not hold since policies
+        // may keep chunks we stopped tracking).
+        for id in &present {
+            prop_assert!(policy.contains_chunk(*id), "lost chunk {id}");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_contract(reqs in requests(), disk in 1u64..12) {
+        let cfg = CacheConfig::new(disk, k(), CostModel::balanced());
+        check_contract(&mut LruCache::new(cfg), &reqs)?;
+    }
+
+    #[test]
+    fn xlru_contract(reqs in requests(), disk in 1u64..12, a in alpha()) {
+        let cfg = CacheConfig::new(disk, k(), CostModel::from_alpha(a).expect("valid"));
+        check_contract(&mut XlruCache::new(cfg), &reqs)?;
+    }
+
+    #[test]
+    fn cafe_contract(reqs in requests(), disk in 1u64..12, a in alpha()) {
+        let costs = CostModel::from_alpha(a).expect("valid");
+        let mut cache = CafeCache::new(CafeConfig::new(disk, k(), costs));
+        check_contract(&mut cache, &reqs)?;
+    }
+
+    #[test]
+    fn psychic_contract(reqs in requests(), disk in 1u64..12, a in alpha()) {
+        let costs = CostModel::from_alpha(a).expect("valid");
+        let mut cache = PsychicCache::new(PsychicConfig::new(disk, k(), costs), &reqs);
+        check_contract(&mut cache, &reqs)?;
+    }
+
+    #[test]
+    fn policies_are_deterministic(reqs in requests(), disk in 1u64..12, a in alpha()) {
+        let costs = CostModel::from_alpha(a).expect("valid");
+        let run = || -> Vec<Decision> {
+            let mut cache = CafeCache::new(CafeConfig::new(disk, k(), costs));
+            reqs.iter().map(|r| cache.handle_request(r)).collect()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn full_hits_are_always_served(reqs in requests(), a in alpha()) {
+        // With a disk large enough to never evict, any repeated identical
+        // request (same range) must be served once its chunks are in.
+        let costs = CostModel::from_alpha(a).expect("valid");
+        let mut cache = CafeCache::new(CafeConfig::new(10_000, k(), costs));
+        let mut served_once: std::collections::HashSet<(VideoId, u64, u64)> =
+            std::collections::HashSet::new();
+        for r in &reqs {
+            let key = (r.video, r.bytes.start, r.bytes.end);
+            let d = cache.handle_request(r);
+            if served_once.contains(&key) {
+                prop_assert!(
+                    d.is_serve(),
+                    "previously filled request redirected: {r}"
+                );
+                if let Decision::Serve(o) = &d {
+                    prop_assert_eq!(o.filled_chunks, 0, "refill of cached range");
+                }
+            }
+            if d.is_serve() {
+                served_once.insert(key);
+            }
+        }
+    }
+}

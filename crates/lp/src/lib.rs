@@ -1,0 +1,42 @@
+//! A from-scratch dense two-phase simplex solver for linear programs.
+//!
+//! The paper's Optimal cache (§7) relaxes an Integer-Programming
+//! formulation of offline caching to a linear program and solves it with
+//! off-the-shelf LP software to obtain "a guaranteed, theoretical lower
+//! bound on the achievable cost". This crate is the substitute for that
+//! proprietary dependency: a self-contained minimising simplex over
+//! problems of the form
+//!
+//! ```text
+//! minimise    cᵀx
+//! subject to  aᵢᵀx {≤, =, ≥} bᵢ      for each constraint i
+//!             x ≥ 0
+//! ```
+//!
+//! Upper bounds (`x ≤ 1` etc.) are expressed as ordinary constraints.
+//! The implementation is a dense-tableau, two-phase simplex with Dantzig
+//! pricing and a Bland's-rule fallback for anti-cycling — deliberately
+//! simple and auditable, sized for the paper's "limited scale" Optimal
+//! experiments (thousands of variables/constraints).
+//!
+//! # Examples
+//!
+//! ```
+//! use vcdn_lp::{LinearProgram, Relation, Status};
+//!
+//! // minimise  -x - 2y   s.t.  x + y <= 4,  y <= 3,  x,y >= 0
+//! let mut lp = LinearProgram::minimize();
+//! let x = lp.add_var(-1.0);
+//! let y = lp.add_var(-2.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! lp.add_constraint(vec![(y, 1.0)], Relation::Le, 3.0);
+//! let sol = lp.solve().unwrap();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - (-7.0)).abs() < 1e-7); // x=1, y=3
+//! ```
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{LinearProgram, Relation, VarId};
+pub use simplex::{Solution, SolveError, Status};

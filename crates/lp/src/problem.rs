@@ -1,0 +1,196 @@
+//! Linear-program construction.
+
+use crate::simplex::{self, Solution, SolveError};
+
+/// Index of a structural variable in a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The variable's position in [`Solution::values`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx = b`
+    Eq,
+    /// `aᵀx ≥ b`
+    Ge,
+}
+
+/// One linear constraint with a sparse coefficient row.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Constraint {
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A minimisation linear program over non-negative variables.
+///
+/// Build with [`LinearProgram::add_var`] /
+/// [`LinearProgram::add_constraint`], then call [`LinearProgram::solve`].
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    pub(crate) objective: Vec<f64>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty minimisation problem.
+    pub fn minimize() -> Self {
+        LinearProgram::default()
+    }
+
+    /// Adds a variable `x ≥ 0` with objective coefficient `cost`; returns
+    /// its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not finite.
+    pub fn add_var(&mut self, cost: f64) -> VarId {
+        assert!(cost.is_finite(), "objective coefficient must be finite");
+        self.objective.push(cost);
+        VarId(self.objective.len() - 1)
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds the constraint `Σ coeff·var  relation  rhs`.
+    ///
+    /// Duplicate variable entries in `coeffs` are summed. Zero-coefficient
+    /// entries are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not exist, or any coefficient
+    /// or the right-hand side is not finite.
+    pub fn add_constraint(&mut self, coeffs: Vec<(VarId, f64)>, relation: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut dense: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for (v, c) in coeffs {
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+            assert!(v.0 < self.num_vars(), "constraint references unknown var");
+            if c != 0.0 {
+                match dense.iter_mut().find(|(i, _)| *i == v.0) {
+                    Some((_, acc)) => *acc += c,
+                    None => dense.push((v.0, c)),
+                }
+            }
+        }
+        self.constraints.push(Constraint {
+            coeffs: dense,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Convenience: adds the upper bound `var ≤ ub` as a constraint row.
+    pub fn add_upper_bound(&mut self, var: VarId, ub: f64) {
+        self.add_constraint(vec![(var, 1.0)], Relation::Le, ub);
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        simplex::solve(self)
+    }
+
+    /// Evaluates the objective at a point (for tests and verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks whether `x` satisfies every constraint and the
+    /// non-negativity bounds, within tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        assert_eq!(x.len(), self.num_vars());
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+        lp.add_upper_bound(y, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed_and_zeros_dropped() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(0.0);
+        let y = lp.add_var(0.0);
+        lp.add_constraint(vec![(x, 1.0), (x, 2.0), (y, 0.0)], Relation::Eq, 3.0);
+        assert_eq!(lp.constraints[0].coeffs, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown var")]
+    fn unknown_variable_rejected() {
+        let mut lp = LinearProgram::minimize();
+        lp.add_constraint(vec![(VarId(0), 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_cost_rejected() {
+        LinearProgram::minimize().add_var(f64::NAN);
+    }
+
+    #[test]
+    fn feasibility_and_objective_evaluation() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(2.0);
+        let y = lp.add_var(-1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 0.5);
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.0, 1.0], 1e-9)); // violates Ge
+        assert!(!lp.is_feasible(&[1.5, 1.0], 1e-9)); // violates Le
+        assert!(!lp.is_feasible(&[1.0, -0.1], 1e-9)); // negative
+        assert!((lp.objective_at(&[1.0, 3.0]) - (-1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,496 @@
+//! Dense-tableau two-phase simplex.
+//!
+//! Phase 1 minimises the sum of artificial variables to find a basic
+//! feasible solution; phase 2 minimises the real objective. Pricing is
+//! Dantzig's rule (most negative reduced cost), falling back permanently to
+//! Bland's rule after a stall threshold so that cycling on degenerate
+//! problems cannot prevent termination.
+
+use crate::problem::{LinearProgram, Relation};
+
+/// Termination status of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic solution was found.
+    Optimal,
+}
+
+/// Why a solve failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+    /// The iteration cap was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "linear program is infeasible"),
+            SolveError::Unbounded => write!(f, "linear program is unbounded"),
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Termination status (always [`Status::Optimal`] on `Ok`).
+    pub status: Status,
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Values of the structural variables, indexed by `VarId::index()`.
+    pub values: Vec<f64>,
+}
+
+/// Coefficient magnitudes below this are treated as zero.
+const EPS: f64 = 1e-9;
+/// Feasibility tolerance for the phase-1 objective.
+const FEAS_TOL: f64 = 1e-7;
+
+struct Tableau {
+    /// Row-major constraint matrix, `m` rows of `width` (`ncols + 1`, the
+    /// last column holding the right-hand side).
+    a: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    width: usize,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// First artificial column (columns `>= art_start` are artificial).
+    art_start: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.width + c]
+    }
+
+    fn row(&self, r: usize) -> &[f64] {
+        &self.a[r * self.width..(r + 1) * self.width]
+    }
+
+    /// Gauss-Jordan pivot on `(pr, pc)`, also updating the provided cost
+    /// rows (each `width` long, last entry = −objective).
+    fn pivot(&mut self, pr: usize, pc: usize, cost_rows: &mut [&mut Vec<f64>]) {
+        let width = self.width;
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
+        // Normalise the pivot row.
+        let inv = 1.0 / pivot;
+        for j in 0..width {
+            self.a[pr * width + j] *= inv;
+        }
+        self.a[pr * width + pc] = 1.0; // exact
+                                       // Eliminate the pivot column elsewhere.
+        for r in 0..self.m {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                self.a[r * width + j] -= factor * self.a[pr * width + j];
+            }
+            self.a[r * width + pc] = 0.0; // exact
+        }
+        for cost in cost_rows.iter_mut() {
+            let factor = cost[pc];
+            if factor != 0.0 {
+                for j in 0..width {
+                    cost[j] -= factor * self.a[pr * width + j];
+                }
+                cost[pc] = 0.0;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Ratio test: the leaving row for entering column `pc`, or `None` if
+    /// the column is unbounded. Ties break on the smallest basic-variable
+    /// index (Bland-compatible).
+    fn leaving_row(&self, pc: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.m {
+            let coeff = self.at(r, pc);
+            if coeff > EPS {
+                let ratio = self.at(r, self.width - 1) / coeff;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || (ratio < bratio + EPS && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+}
+
+/// Chooses the entering column: Dantzig (most negative reduced cost) or
+/// Bland (lowest-index negative) per `use_bland`, restricted to columns
+/// `< limit` (used to bar artificials in phase 2).
+fn entering_column(cost: &[f64], limit: usize, use_bland: bool) -> Option<usize> {
+    if use_bland {
+        (0..limit).find(|&j| cost[j] < -EPS)
+    } else {
+        let mut best = None;
+        let mut best_val = -EPS;
+        for (j, &c) in cost.iter().enumerate().take(limit) {
+            if c < best_val {
+                best_val = c;
+                best = Some(j);
+            }
+        }
+        best
+    }
+}
+
+/// Runs simplex iterations until optimality for the given cost row.
+fn iterate(
+    t: &mut Tableau,
+    cost: &mut Vec<f64>,
+    mut extra: Option<&mut Vec<f64>>,
+    col_limit: usize,
+) -> Result<(), SolveError> {
+    let max_iter = 200 + 50 * (t.m + t.ncols);
+    let bland_after = 20 + 10 * (t.m + t.ncols);
+    for iter in 0..max_iter {
+        let use_bland = iter >= bland_after;
+        let Some(pc) = entering_column(cost, col_limit, use_bland) else {
+            return Ok(());
+        };
+        let Some(pr) = t.leaving_row(pc) else {
+            return Err(SolveError::Unbounded);
+        };
+        match extra.as_deref_mut() {
+            Some(e) => t.pivot(pr, pc, &mut [cost, e]),
+            None => t.pivot(pr, pc, &mut [cost]),
+        }
+    }
+    Err(SolveError::IterationLimit)
+}
+
+/// Solves `lp` with the two-phase simplex method.
+pub fn solve(lp: &LinearProgram) -> Result<Solution, SolveError> {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+
+    // Column layout: structural | slacks/surpluses | artificials | rhs.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for c in &lp.constraints {
+        // After sign normalisation (rhs >= 0), Le takes a slack and is
+        // basis-ready; Ge takes a surplus + artificial; Eq an artificial.
+        let rel = effective_relation(c.relation, c.rhs < 0.0);
+        match rel {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+    }
+    let ncols = n + n_slack + n_art;
+    let width = ncols + 1;
+    let mut t = Tableau {
+        a: vec![0.0; m * width],
+        m,
+        ncols,
+        width,
+        basis: vec![usize::MAX; m],
+        art_start: n + n_slack,
+    };
+
+    let mut slack_cursor = n;
+    let mut art_cursor = t.art_start;
+    for (r, c) in lp.constraints.iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(j, v) in &c.coeffs {
+            t.a[r * width + j] += sign * v;
+        }
+        t.a[r * width + width - 1] = sign * c.rhs;
+        match effective_relation(c.relation, flip) {
+            Relation::Le => {
+                t.a[r * width + slack_cursor] = 1.0;
+                t.basis[r] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Relation::Ge => {
+                t.a[r * width + slack_cursor] = -1.0;
+                slack_cursor += 1;
+                t.a[r * width + art_cursor] = 1.0;
+                t.basis[r] = art_cursor;
+                art_cursor += 1;
+            }
+            Relation::Eq => {
+                t.a[r * width + art_cursor] = 1.0;
+                t.basis[r] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    // Phase-2 cost row: structural costs, zeros elsewhere. Initial basis
+    // (slacks + artificials) has zero phase-2 cost, so reduced costs are
+    // just the raw costs.
+    let mut cost2 = vec![0.0; width];
+    cost2[..n].copy_from_slice(&lp.objective);
+
+    if n_art > 0 {
+        // Phase-1 cost row: reduced costs of `min Σ artificials` under the
+        // initial basis — subtract each artificial-basic row from the raw
+        // phase-1 costs.
+        let mut cost1 = vec![0.0; width];
+        for c in cost1.iter_mut().take(ncols).skip(t.art_start) {
+            *c = 1.0;
+        }
+        for r in 0..m {
+            if t.basis[r] >= t.art_start {
+                let row: Vec<f64> = t.row(r).to_vec();
+                for j in 0..width {
+                    cost1[j] -= row[j];
+                }
+            }
+        }
+        iterate(&mut t, &mut cost1, Some(&mut cost2), ncols)?;
+        let w = -cost1[width - 1];
+        if w > FEAS_TOL {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any remaining basic artificials out (they carry value ~0).
+        for r in 0..m {
+            if t.basis[r] >= t.art_start {
+                if let Some(pc) = (0..t.art_start).find(|&j| t.at(r, j).abs() > 1e-7) {
+                    t.pivot(r, pc, &mut [&mut cost1, &mut cost2]);
+                }
+                // Otherwise the row is redundant; the artificial stays
+                // basic at value zero and its column is barred below.
+            }
+        }
+    }
+
+    // Phase 2: bar artificial columns from entering.
+    let art_start = t.art_start;
+    iterate(&mut t, &mut cost2, None, art_start)?;
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            values[t.basis[r]] = t.at(r, width - 1).max(0.0);
+        }
+    }
+    Ok(Solution {
+        status: Status::Optimal,
+        objective: -cost2[width - 1],
+        values,
+    })
+}
+
+/// The relation after multiplying a negative-rhs row by −1.
+fn effective_relation(rel: Relation, flipped: bool) -> Relation {
+    if !flipped {
+        return rel;
+    }
+    match rel {
+        Relation::Le => Relation::Ge,
+        Relation::Ge => Relation::Le,
+        Relation::Eq => Relation::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearProgram, Relation};
+
+    fn assert_opt(lp: &LinearProgram, expect_obj: f64, expect_x: Option<&[f64]>) {
+        let sol = lp.solve().expect("solve should succeed");
+        assert!(
+            (sol.objective - expect_obj).abs() < 1e-6,
+            "objective {} != {}",
+            sol.objective,
+            expect_obj
+        );
+        assert!(lp.is_feasible(&sol.values, 1e-6), "solution infeasible");
+        assert!(
+            (lp.objective_at(&sol.values) - sol.objective).abs() < 1e-6,
+            "reported objective disagrees with point"
+        );
+        if let Some(x) = expect_x {
+            for (i, (&got, &want)) in sol.values.iter().zip(x).enumerate() {
+                assert!((got - want).abs() < 1e-6, "x[{i}]={got} != {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_maximisation_as_min() {
+        // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 => (2,6), obj 36.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(-3.0);
+        let y = lp.add_var(-5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        assert_opt(&lp, -36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y st x + 2y = 4, x >= 1 => x=1, y=1.5, obj 2.5.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        assert_opt(&lp, 2.5, Some(&[1.0, 1.5]));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // min x st -x <= -3  (i.e. x >= 3).
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::Le, -3.0);
+        assert_opt(&lp, 3.0, Some(&[3.0]));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(-1.0);
+        let y = lp.add_var(0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn zero_constraints_trivial() {
+        // min 2x with x >= 0 free of constraints: x = 0.
+        let mut lp = LinearProgram::minimize();
+        lp.add_var(2.0);
+        assert_opt(&lp, 0.0, Some(&[0.0]));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex (multiple bases at the optimum).
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(-0.75);
+        let y = lp.add_var(150.0);
+        let z = lp.add_var(-0.02);
+        let w = lp.add_var(6.0);
+        lp.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(z, 1.0)], Relation::Le, 1.0);
+        // Beale's cycling example: optimum -0.05 at z=1.
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - (-0.05)).abs() < 1e-6, "{}", sol.objective);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Duplicate equality leaves a redundant artificial row.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 0.5);
+        assert_opt(&lp, 2.0, None);
+    }
+
+    #[test]
+    fn equality_with_negative_rhs() {
+        // min x+y st -x - y = -2  => x + y = 2.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, -1.0), (y, -1.0)], Relation::Eq, -2.0);
+        assert_opt(&lp, 2.0, None);
+    }
+
+    #[test]
+    fn bounded_box_optimum_on_vertex() {
+        // min -x - y in the unit box => (1,1).
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(-1.0);
+        let y = lp.add_var(-1.0);
+        lp.add_upper_bound(x, 1.0);
+        lp.add_upper_bound(y, 1.0);
+        assert_opt(&lp, -2.0, Some(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_vertex() {
+        // Knapsack-like relaxation: min -(3x+2y) st 2x + y <= 2, x,y <= 1.
+        // Optimum x=0.5, y=1 -> -3.5.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(-3.0);
+        let y = lp.add_var(-2.0);
+        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Relation::Le, 2.0);
+        lp.add_upper_bound(x, 1.0);
+        lp.add_upper_bound(y, 1.0);
+        assert_opt(&lp, -3.5, Some(&[0.5, 1.0]));
+    }
+
+    #[test]
+    fn ge_with_zero_rhs_needs_no_phase1_success_path() {
+        // x >= 0 rows with rhs 0 still route through artificials; ensure
+        // the drive-out logic leaves a clean optimum.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Ge, 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        // min x + 2y, need x+y>=4 and x>=y: best x=4,y=0 -> 4.
+        assert_opt(&lp, 4.0, Some(&[4.0, 0.0]));
+    }
+
+    #[test]
+    fn moderately_sized_random_like_problem() {
+        // A structured 50-var transportation-style LP with known optimum:
+        // min Σ i·x_i st Σ x_i = 10, x_i <= 1  -> fill the 10 cheapest.
+        let mut lp = LinearProgram::minimize();
+        let vars: Vec<_> = (0..50).map(|i| lp.add_var(i as f64)).collect();
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Relation::Eq, 10.0);
+        for &v in &vars {
+            lp.add_upper_bound(v, 1.0);
+        }
+        // Optimum: x_0..x_9 = 1 -> objective 0+1+...+9 = 45.
+        assert_opt(&lp, 45.0, None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random LPs whose feasible region is a bounded box
+//! intersected with random half-planes, then verify (a) the reported
+//! solution is feasible and consistent, (b) no random feasible point beats
+//! it, and (c) in two dimensions, exhaustive vertex enumeration agrees.
+
+use proptest::prelude::*;
+use vcdn_lp::{LinearProgram, Relation, Status};
+
+/// A random LP: n vars in [0, 10] boxes, m extra `<=` half-planes with
+/// non-negative RHS (so x = 0 is always feasible), random costs.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    costs: Vec<i32>,
+    rows: Vec<(Vec<i32>, i32)>,
+}
+
+fn random_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = RandomLp> {
+    random_lp_sized(1, max_vars, max_rows)
+}
+
+fn random_lp_sized(
+    min_vars: usize,
+    max_vars: usize,
+    max_rows: usize,
+) -> impl Strategy<Value = RandomLp> {
+    (min_vars..=max_vars).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(-9i32..=9, n),
+            proptest::collection::vec(
+                (proptest::collection::vec(-5i32..=5, n), 0i32..40),
+                0..=max_rows,
+            ),
+        )
+            .prop_map(|(costs, rows)| RandomLp { costs, rows })
+    })
+}
+
+fn build(lp_def: &RandomLp) -> LinearProgram {
+    let n = lp_def.costs.len();
+    let mut lp = LinearProgram::minimize();
+    let vars: Vec<_> = lp_def.costs.iter().map(|&c| lp.add_var(c as f64)).collect();
+    for &v in &vars {
+        lp.add_upper_bound(v, 10.0);
+    }
+    for (coeffs, rhs) in &lp_def.rows {
+        lp.add_constraint(
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (vars[i], c as f64))
+                .collect(),
+            Relation::Le,
+            *rhs as f64,
+        );
+    }
+    let _ = n;
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solution_is_feasible_and_consistent(def in random_lp(5, 6)) {
+        let lp = build(&def);
+        // x = 0 is feasible, every var bounded by 10 => never infeasible
+        // nor unbounded.
+        let sol = lp.solve().expect("box LPs always solve");
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+        prop_assert!((lp.objective_at(&sol.values) - sol.objective).abs() < 1e-6);
+        // The optimum can never beat the cost lower bound Σ min(c_i,0)*10.
+        let lower: f64 = def.costs.iter().map(|&c| (c as f64).min(0.0) * 10.0).sum();
+        prop_assert!(sol.objective >= lower - 1e-6);
+        prop_assert!(sol.objective <= 1e-6); // x = 0 costs 0
+    }
+
+    #[test]
+    fn no_random_feasible_point_beats_the_optimum(
+        def in random_lp(4, 5),
+        probes in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 4), 40),
+    ) {
+        let lp = build(&def);
+        let sol = lp.solve().expect("box LPs always solve");
+        for p in probes {
+            let x = &p[..def.costs.len()];
+            if lp.is_feasible(x, 1e-9) {
+                prop_assert!(
+                    lp.objective_at(x) >= sol.objective - 1e-6,
+                    "probe {:?} beats reported optimum {}",
+                    x,
+                    sol.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_var_optimum_matches_vertex_enumeration(def in random_lp_sized(2, 2, 4)) {
+        let lp = build(&def);
+        let sol = lp.solve().expect("box LPs always solve");
+
+        // Enumerate candidate vertices: intersections of all constraint
+        // boundaries (half-planes + box walls + axes).
+        let mut lines: Vec<(f64, f64, f64)> = vec![
+            (1.0, 0.0, 0.0),  // x = 0
+            (0.0, 1.0, 0.0),  // y = 0
+            (1.0, 0.0, 10.0), // x = 10
+            (0.0, 1.0, 10.0), // y = 10
+        ];
+        for (coeffs, rhs) in &def.rows {
+            let a = *coeffs.first().unwrap_or(&0) as f64;
+            let b = if coeffs.len() > 1 { coeffs[1] as f64 } else { 0.0 };
+            lines.push((a, b, *rhs as f64));
+        }
+        let mut best = f64::INFINITY;
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (a1, b1, c1) = lines[i];
+                let (a2, b2, c2) = lines[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() < 1e-9 {
+                    continue;
+                }
+                let x = (c1 * b2 - c2 * b1) / det;
+                let y = (a1 * c2 - a2 * c1) / det;
+                let pt = [x, y];
+                if lp.is_feasible(&pt, 1e-6) {
+                    best = best.min(lp.objective_at(&pt));
+                }
+            }
+        }
+        // x = 0 is always a vertex candidate via axis intersections.
+        prop_assert!(best.is_finite());
+        prop_assert!(
+            (sol.objective - best).abs() < 1e-5,
+            "simplex {} vs vertex enumeration {}",
+            sol.objective,
+            best
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Phase-1 coverage: LPs with >= and = rows built around a known
+    /// feasible point, so feasibility is guaranteed but the all-slack
+    /// basis is not available.
+    #[test]
+    fn phase1_problems_solve_and_do_not_exceed_witness(
+        witness in proptest::collection::vec(0i32..10, 2..5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i32..=4, 5), 0u8..3, 0i32..6),
+            1..6,
+        ),
+        costs in proptest::collection::vec(-5i32..=5, 5),
+    ) {
+        let n = witness.len();
+        let mut lp = LinearProgram::minimize();
+        let vars: Vec<_> = (0..n).map(|i| lp.add_var(costs[i] as f64)).collect();
+        for &v in &vars {
+            lp.add_upper_bound(v, 20.0);
+        }
+        let w: Vec<f64> = witness.iter().map(|&x| x as f64).collect();
+        for (coeffs, kind, slack) in &rows {
+            let row: Vec<(vcdn_lp::VarId, f64)> = coeffs
+                .iter()
+                .take(n)
+                .enumerate()
+                .map(|(i, &c)| (vars[i], c as f64))
+                .collect();
+            let lhs_at_w: f64 = row.iter().map(|&(v, c)| c * w[v.index()]).sum();
+            match kind % 3 {
+                0 => lp.add_constraint(row, Relation::Ge, lhs_at_w - *slack as f64),
+                1 => lp.add_constraint(row, Relation::Le, lhs_at_w + *slack as f64),
+                _ => lp.add_constraint(row, Relation::Eq, lhs_at_w),
+            }
+        }
+        // The witness is feasible by construction, so the LP must solve
+        // and the optimum cannot exceed the witness's objective.
+        let sol = lp.solve().expect("feasible by construction");
+        prop_assert!(lp.is_feasible(&sol.values, 1e-5));
+        prop_assert!(sol.objective <= lp.objective_at(&w) + 1e-5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Replay engine, metrics and reporting for video-CDN cache simulation.
+//!
+//! This crate drives [`vcdn_trace::Trace`]s through [`vcdn_core`] cache
+//! policies and produces the measurements the paper's evaluation reports:
+//! steady-state cache efficiency (Eq. 2, averaged over the second half of
+//! the replay), ingress-to-egress percentage, redirect ratio, and hourly
+//! time series — plus the disk-I/O and egress-saturation resource models
+//! behind the paper's §2 motivation.
+//!
+//! # Examples
+//!
+//! ```
+//! use vcdn_core::{CacheConfig, XlruCache};
+//! use vcdn_sim::{ReplayConfig, Replayer};
+//! use vcdn_trace::{ServerProfile, TraceGenerator};
+//! use vcdn_types::{ChunkSize, CostModel, DurationMs};
+//!
+//! let trace = TraceGenerator::new(ServerProfile::tiny_test(), 7)
+//!     .generate(DurationMs::from_hours(6));
+//! let costs = CostModel::from_alpha(2.0).unwrap();
+//! let k = ChunkSize::DEFAULT;
+//! let mut cache = XlruCache::new(CacheConfig::new(128, k, costs));
+//! let report = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+//! assert!(report.efficiency() >= -1.0 && report.efficiency() <= 1.0);
+//! ```
+
+pub mod diskalloc;
+pub mod fleet;
+pub mod hierarchy;
+pub mod models;
+pub mod replay;
+pub mod report;
+pub mod shard;
+
+pub use fleet::{replay_fleet, FleetReport};
+pub use hierarchy::{replay_hierarchy, HierarchyReport};
+pub use models::{DiskIoModel, EgressModel, EgressSummary};
+pub use replay::{ReplayConfig, ReplayReport, Replayer, WindowStat};
+pub use report::Table;

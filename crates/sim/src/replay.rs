@@ -1,0 +1,347 @@
+//! The replay engine: drives a request trace through a cache policy and
+//! accounts traffic the way the paper's evaluation does.
+//!
+//! Accounting is in chunk-granularity bytes (`chunks × K`) on all three
+//! buckets — hits, fills, redirects — because a chunk is fetched and
+//! stored in full even when requested partially (§4.2), and a uniform unit
+//! keeps the identity `hit + fill + redirect = requested` exact.
+//!
+//! The paper reports steady-state efficiency as "the average over the
+//! second half of the month ... to exclude the initial cache warmup phase"
+//! (§9); [`ReplayReport::steady`] implements exactly that, alongside
+//! hourly windows for the Figure 3 time series.
+
+use vcdn_core::CachePolicy;
+use vcdn_trace::Trace;
+use vcdn_types::{CostModel, Decision, DurationMs, Timestamp, TrafficCounter};
+
+/// Replay options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Chunk size used for byte accounting (must match the policy's).
+    pub chunk_size: vcdn_types::ChunkSize,
+    /// Cost model used for efficiency reporting (must match the policy's).
+    pub costs: CostModel,
+    /// Metric window length (paper plots hourly series).
+    pub window: DurationMs,
+    /// Fraction of the replay after which steady-state accounting begins
+    /// (paper: 0.5 — the second half).
+    pub steady_after: f64,
+    /// Verify policy invariants (capacity, serve completeness) after every
+    /// request; cheap, on by default.
+    pub check_invariants: bool,
+}
+
+impl ReplayConfig {
+    /// The paper's measurement setup: hourly windows, steady state over
+    /// the second half.
+    pub fn new(chunk_size: vcdn_types::ChunkSize, costs: CostModel) -> Self {
+        ReplayConfig {
+            chunk_size,
+            costs,
+            window: DurationMs::HOUR,
+            steady_after: 0.5,
+            check_invariants: true,
+        }
+    }
+
+    /// Overrides the metric window.
+    pub fn with_window(mut self, window: DurationMs) -> Self {
+        assert!(window.as_millis() > 0, "window must be > 0");
+        self.window = window;
+        self
+    }
+
+    /// Overrides the steady-state start fraction.
+    pub fn with_steady_after(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "steady_after must be in [0, 1)"
+        );
+        self.steady_after = fraction;
+        self
+    }
+}
+
+/// Per-window traffic statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStat {
+    /// Window start time.
+    pub start: Timestamp,
+    /// Traffic in the window.
+    pub traffic: TrafficCounter,
+}
+
+/// Outcome of replaying one trace through one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// The policy's name.
+    pub policy: &'static str,
+    /// Traffic over the full replay.
+    pub overall: TrafficCounter,
+    /// Traffic over the steady-state portion (the paper's reported
+    /// numbers).
+    pub steady: TrafficCounter,
+    /// Per-window traffic (window length per [`ReplayConfig::window`]).
+    pub windows: Vec<WindowStat>,
+    /// The cost model used for efficiency computation.
+    pub costs: CostModel,
+}
+
+impl ReplayReport {
+    /// Steady-state cache efficiency (Eq. 2) — the paper's headline
+    /// metric.
+    pub fn efficiency(&self) -> f64 {
+        self.steady.efficiency(self.costs)
+    }
+
+    /// Steady-state ingress-to-egress percentage.
+    pub fn ingress_pct(&self) -> f64 {
+        self.steady.ingress_pct()
+    }
+
+    /// Steady-state redirected percentage of requested bytes.
+    pub fn redirect_pct(&self) -> f64 {
+        self.steady.redirect_pct()
+    }
+}
+
+/// Drives traces through policies.
+#[derive(Debug, Clone, Copy)]
+pub struct Replayer {
+    config: ReplayConfig,
+}
+
+impl Replayer {
+    /// Creates a replayer.
+    pub fn new(config: ReplayConfig) -> Self {
+        Replayer { config }
+    }
+
+    /// Replays `trace` through `policy`, returning the traffic report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's chunk size or cost model disagree with the
+    /// replay configuration, or (with `check_invariants`) if the policy
+    /// violates its contract.
+    pub fn replay(&self, trace: &Trace, policy: &mut dyn CachePolicy) -> ReplayReport {
+        let cfg = &self.config;
+        assert_eq!(
+            policy.chunk_size(),
+            cfg.chunk_size,
+            "policy/replayer chunk size mismatch"
+        );
+        assert!(
+            (policy.costs().alpha() - cfg.costs.alpha()).abs() < 1e-12,
+            "policy/replayer cost model mismatch"
+        );
+        let k = cfg.chunk_size.bytes();
+        let horizon = if trace.meta.duration > DurationMs::ZERO {
+            trace.meta.duration
+        } else {
+            DurationMs(trace.end_time().as_millis() + 1)
+        };
+        let steady_from = Timestamp((horizon.as_millis() as f64 * cfg.steady_after) as u64);
+
+        let mut overall = TrafficCounter::default();
+        let mut steady = TrafficCounter::default();
+        let mut windows: Vec<WindowStat> = Vec::new();
+        let window_ms = cfg.window.as_millis();
+
+        for request in &trace.requests {
+            let chunks = request.chunk_len(cfg.chunk_size);
+            let decision = policy.handle_request(request);
+
+            let widx = (request.t.as_millis() / window_ms) as usize;
+            while windows.len() <= widx {
+                windows.push(WindowStat {
+                    start: Timestamp(windows.len() as u64 * window_ms),
+                    traffic: TrafficCounter::default(),
+                });
+            }
+            let in_steady = request.t >= steady_from;
+
+            let mut account = |f: &dyn Fn(&mut TrafficCounter)| {
+                f(&mut overall);
+                f(&mut windows[widx].traffic);
+                if in_steady {
+                    f(&mut steady);
+                }
+            };
+            match &decision {
+                Decision::Serve(o) => {
+                    if cfg.check_invariants {
+                        assert_eq!(
+                            o.served_chunks(),
+                            chunks,
+                            "{}: serve must cover the full request",
+                            policy.name()
+                        );
+                        assert!(
+                            policy.disk_used_chunks() <= policy.disk_capacity_chunks(),
+                            "{}: capacity exceeded",
+                            policy.name()
+                        );
+                    }
+                    let hit_b = o.hit_chunks * k;
+                    let fill_b = o.filled_chunks * k;
+                    account(&|t: &mut TrafficCounter| {
+                        t.record_hit(hit_b);
+                        t.record_fill(fill_b);
+                        t.served_requests += 1;
+                    });
+                }
+                Decision::Redirect => {
+                    let red_b = chunks * k;
+                    account(&|t: &mut TrafficCounter| {
+                        t.record_redirect(red_b);
+                        t.redirected_requests += 1;
+                    });
+                }
+            }
+        }
+
+        ReplayReport {
+            policy: policy.name(),
+            overall,
+            steady,
+            windows,
+            costs: cfg.costs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcdn_core::{CacheConfig, LruCache, XlruCache};
+    use vcdn_trace::{TraceGenerator, TraceMeta};
+    use vcdn_types::{ByteRange, ChunkSize, Request, VideoId};
+
+    fn k100() -> ChunkSize {
+        ChunkSize::new(100).unwrap()
+    }
+
+    fn mk_trace(reqs: Vec<Request>, duration_ms: u64) -> Trace {
+        Trace::new(
+            TraceMeta {
+                name: "t".into(),
+                seed: 0,
+                duration: DurationMs(duration_ms),
+                description: String::new(),
+            },
+            reqs,
+        )
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let trace = TraceGenerator::new(vcdn_trace::ServerProfile::tiny_test(), 3)
+            .generate(DurationMs::from_hours(8));
+        let costs = CostModel::balanced();
+        let cfg = ReplayConfig::new(ChunkSize::DEFAULT, costs);
+        let mut cache = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let report = Replayer::new(cfg).replay(&trace, &mut cache);
+        // Every requested chunk-byte is a hit, fill or redirect.
+        let expected: u64 = trace
+            .requests
+            .iter()
+            .map(|r| r.chunk_len(ChunkSize::DEFAULT) * ChunkSize::DEFAULT.bytes())
+            .sum();
+        assert_eq!(report.overall.requested_bytes(), expected);
+        assert_eq!(report.overall.total_requests() as usize, trace.len());
+        // Window traffic sums to the overall counter.
+        let window_sum = report
+            .windows
+            .iter()
+            .fold(TrafficCounter::default(), |acc, w| acc + w.traffic);
+        assert_eq!(window_sum, report.overall);
+    }
+
+    #[test]
+    fn steady_excludes_first_half() {
+        // Two requests: one early, one late; steady sees only the late one.
+        let reqs = vec![
+            Request::new(VideoId(1), ByteRange::new(0, 99).unwrap(), Timestamp(10)),
+            Request::new(VideoId(1), ByteRange::new(0, 99).unwrap(), Timestamp(900)),
+        ];
+        let trace = mk_trace(reqs, 1_000);
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(4, k100(), costs));
+        let report = Replayer::new(ReplayConfig::new(k100(), costs)).replay(&trace, &mut cache);
+        assert_eq!(report.overall.total_requests(), 2);
+        assert_eq!(report.steady.total_requests(), 1);
+        // The late request is a pure hit.
+        assert_eq!(report.steady.hit_bytes, 100);
+        assert!((report.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_hour_aligned() {
+        let reqs = vec![
+            Request::new(VideoId(1), ByteRange::new(0, 99).unwrap(), Timestamp(0)),
+            Request::new(
+                VideoId(2),
+                ByteRange::new(0, 99).unwrap(),
+                Timestamp(DurationMs::from_hours(2).as_millis() + 5),
+            ),
+        ];
+        let trace = mk_trace(reqs, DurationMs::from_hours(3).as_millis());
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(4, k100(), costs));
+        let report = Replayer::new(ReplayConfig::new(k100(), costs)).replay(&trace, &mut cache);
+        assert_eq!(report.windows.len(), 3);
+        assert_eq!(report.windows[1].traffic.total_requests(), 0);
+        assert_eq!(report.windows[2].traffic.total_requests(), 1);
+        assert_eq!(
+            report.windows[2].start,
+            Timestamp(DurationMs::from_hours(2).as_millis())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size mismatch")]
+    fn chunk_size_mismatch_detected() {
+        let trace = mk_trace(vec![], 10);
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(4, k100(), costs));
+        let cfg = ReplayConfig::new(ChunkSize::DEFAULT, costs);
+        Replayer::new(cfg).replay(&trace, &mut cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost model mismatch")]
+    fn cost_mismatch_detected() {
+        let trace = mk_trace(vec![], 10);
+        let mut cache = LruCache::new(CacheConfig::new(4, k100(), CostModel::balanced()));
+        let cfg = ReplayConfig::new(k100(), CostModel::from_alpha(2.0).unwrap());
+        Replayer::new(cfg).replay(&trace, &mut cache);
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let trace = mk_trace(vec![], 0);
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(4, k100(), costs));
+        let report = Replayer::new(ReplayConfig::new(k100(), costs)).replay(&trace, &mut cache);
+        assert_eq!(report.overall, TrafficCounter::default());
+        assert_eq!(report.efficiency(), 0.0);
+        assert!(report.windows.is_empty());
+    }
+
+    #[test]
+    fn config_validation() {
+        let c = ReplayConfig::new(k100(), CostModel::balanced())
+            .with_window(DurationMs::from_secs(60))
+            .with_steady_after(0.25);
+        assert_eq!(c.window, DurationMs::from_secs(60));
+        assert!((c.steady_after - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "steady_after")]
+    fn bad_steady_fraction_rejected() {
+        let _ = ReplayConfig::new(k100(), CostModel::balanced()).with_steady_after(1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text and CSV rendering of experiment results.
+//!
+//! The experiment binaries print the same rows/series the paper's figures
+//! report; these helpers keep that output aligned and machine-readable.
+
+use std::fmt::Write as _;
+
+/// A simple aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_sim::report::Table;
+///
+/// let mut t = Table::new(vec!["alpha", "xlru", "cafe"]);
+/// t.row(vec!["1.0".into(), "0.59".into(), "0.61".into()]);
+/// let s = t.render();
+/// assert!(s.contains("alpha"));
+/// assert!(s.contains("0.61"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let sep = if i + 1 == ncols { "\n" } else { "  " };
+                let _ = write!(out, "{:<width$}{sep}", cell, width = widths[i]);
+            }
+        };
+        emit(&self.headers, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, no quoting — callers
+    /// must not put commas in cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats an efficiency value with three decimals.
+pub fn eff(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a byte count with binary-unit suffixes.
+pub fn bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.2}{}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["wide-cell".into(), "x".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines have equal alignment width for column 0.
+        assert!(lines[2].starts_with("1        "));
+        assert!(lines[3].starts_with("wide-cell"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(eff(0.6189), "0.619");
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2 * 1024 * 1024), "2.00MiB");
+        assert_eq!(bytes(5 * 1024 * 1024 * 1024), "5.00GiB");
+    }
+}

@@ -1,0 +1,448 @@
+//! The evolving video catalog: sizes, intrinsic popularity, churn.
+//!
+//! Each video gets an intrinsic Pareto-distributed weight (inducing a
+//! Zipf-like rank-frequency curve with a heavy one-timer tail) and a birth
+//! time; its *effective* weight at time `t` decays with age by a power law,
+//! `w·(1 + age/τ)^(−β)`, modelling popularity churn — newly uploaded videos
+//! dominate, old ones fade. Both phenomena are essential to the paper:
+//! the borderline files that caches admit/evict "usually have very few
+//! accesses in their lifetime" (§3), and request profiles are transient.
+
+use vcdn_types::{DurationMs, Timestamp, VideoId};
+
+use crate::{
+    dist::{LogNormal, Pareto},
+    rng::DetRng,
+};
+
+/// Static properties of one catalog video.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Video {
+    /// Identifier (dense, assigned in birth order).
+    pub id: VideoId,
+    /// File size in bytes.
+    pub size_bytes: u64,
+    /// Intrinsic (age-independent) popularity weight.
+    pub weight: f64,
+    /// Upload time. Initial-corpus videos have births in the "past"
+    /// (before the replay epoch), encoded by `age_at_start`.
+    pub birth: Timestamp,
+    /// For initial-corpus videos: how old the video already was at replay
+    /// start. Zero for videos uploaded during the trace.
+    pub age_at_start: DurationMs,
+}
+
+impl Video {
+    /// The video's age at time `t`.
+    pub fn age_at(&self, t: Timestamp) -> DurationMs {
+        DurationMs(t.saturating_since(self.birth).as_millis() + self.age_at_start.as_millis())
+    }
+}
+
+/// Parameters of the catalog model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogConfig {
+    /// Videos already in the corpus at replay start.
+    pub initial_videos: usize,
+    /// New uploads per day during the trace.
+    pub arrivals_per_day: f64,
+    /// Shape of the intrinsic-weight Pareto distribution; smaller = heavier
+    /// tail = more diverse demand.
+    pub popularity_shape: f64,
+    /// Median file size in bytes (log-normal).
+    pub size_median_bytes: u64,
+    /// Log-normal sigma of file size.
+    pub size_sigma: f64,
+    /// Minimum file size in bytes (clamp).
+    pub size_min_bytes: u64,
+    /// Maximum file size in bytes (clamp).
+    pub size_max_bytes: u64,
+    /// Power-law age-decay time constant τ.
+    pub decay_tau: DurationMs,
+    /// Power-law age-decay exponent β (0 disables churn).
+    pub decay_beta: f64,
+    /// How far in the past initial-corpus births are spread.
+    pub initial_age_span: DurationMs,
+}
+
+impl CatalogConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_videos == 0 {
+            return Err("initial_videos must be > 0".into());
+        }
+        if self.arrivals_per_day < 0.0 || !self.arrivals_per_day.is_finite() {
+            return Err("arrivals_per_day must be finite and >= 0".into());
+        }
+        if self.popularity_shape <= 0.0 {
+            return Err("popularity_shape must be > 0".into());
+        }
+        if self.size_min_bytes == 0 || self.size_min_bytes > self.size_max_bytes {
+            return Err("size bounds invalid".into());
+        }
+        if self.decay_beta < 0.0 {
+            return Err("decay_beta must be >= 0".into());
+        }
+        if self.decay_tau == DurationMs::ZERO && self.decay_beta > 0.0 {
+            return Err("decay_tau must be > 0 when decay_beta > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// The video corpus over the course of one trace.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    videos: Vec<Video>,
+    config: CatalogConfig,
+}
+
+impl Catalog {
+    /// Builds a catalog: `initial_videos` born in the past (uniformly over
+    /// `initial_age_span`), plus Poisson arrivals at `arrivals_per_day`
+    /// over `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CatalogConfig::validate`].
+    pub fn generate(config: &CatalogConfig, duration: DurationMs, rng: &mut DetRng) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid CatalogConfig: {e}"));
+        let pareto =
+            Pareto::new(1.0, config.popularity_shape).expect("validated popularity_shape is > 0");
+        let sizes = LogNormal::new((config.size_median_bytes as f64).ln(), config.size_sigma)
+            .expect("validated size params");
+        let mut videos = Vec::new();
+        let mut next_id = 0u64;
+        let mut push = |birth: Timestamp, age0: DurationMs, rng: &mut DetRng| {
+            let size = sizes
+                .sample(rng)
+                .clamp(config.size_min_bytes as f64, config.size_max_bytes as f64)
+                as u64;
+            videos.push(Video {
+                id: VideoId(next_id),
+                size_bytes: size.max(1),
+                weight: pareto.sample(rng),
+                birth,
+                age_at_start: age0,
+            });
+            next_id += 1;
+        };
+        for _ in 0..config.initial_videos {
+            let age0 = DurationMs(rng.below(config.initial_age_span.as_millis().max(1)));
+            push(Timestamp::EPOCH, age0, rng);
+        }
+        // Poisson arrivals during the trace window.
+        if config.arrivals_per_day > 0.0 {
+            let rate_per_ms = config.arrivals_per_day / DurationMs::DAY.as_millis() as f64;
+            let mut t = 0.0f64;
+            loop {
+                t += crate::dist::sample_exp(rng, rate_per_ms);
+                if t >= duration.as_millis() as f64 {
+                    break;
+                }
+                push(Timestamp(t as u64), DurationMs::ZERO, rng);
+            }
+        }
+        Catalog {
+            videos,
+            config: config.clone(),
+        }
+    }
+
+    /// All videos, in birth order (initial corpus first).
+    pub fn videos(&self) -> &[Video] {
+        &self.videos
+    }
+
+    /// Number of videos (initial + arrivals).
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Whether the catalog is empty (never true for a generated catalog).
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Looks up a video's size in bytes.
+    pub fn size_of(&self, id: VideoId) -> Option<u64> {
+        self.videos.get(id.0 as usize).map(|v| v.size_bytes)
+    }
+
+    /// A video's effective popularity weight at time `t`: intrinsic weight
+    /// times power-law age decay; zero for not-yet-uploaded videos.
+    pub fn effective_weight(&self, v: &Video, t: Timestamp) -> f64 {
+        if v.birth > t {
+            return 0.0;
+        }
+        if self.config.decay_beta == 0.0 {
+            return v.weight;
+        }
+        let age = v.age_at(t).as_millis() as f64;
+        let tau = self.config.decay_tau.as_millis() as f64;
+        v.weight * (1.0 + age / tau).powf(-self.config.decay_beta)
+    }
+
+    /// Builds a weighted sampler over videos uploaded by time `t`, using
+    /// effective weights at `t`. Returns `None` if no video is live yet.
+    pub fn sampler_at(&self, t: Timestamp) -> Option<AliasSampler> {
+        let live: Vec<(usize, f64)> = self
+            .videos
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.birth <= t)
+            .map(|(i, v)| (i, self.effective_weight(v, t)))
+            .collect();
+        AliasSampler::new(live)
+    }
+
+    /// Looks up the full video record.
+    pub fn get(&self, idx: usize) -> &Video {
+        &self.videos[idx]
+    }
+}
+
+/// Walker's alias method for O(1) weighted sampling over a fixed index set.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_trace::{catalog::AliasSampler, rng::DetRng};
+///
+/// let s = AliasSampler::new(vec![(0, 3.0), (5, 1.0)]).unwrap();
+/// let mut r = DetRng::new(1);
+/// let idx = s.sample(&mut r);
+/// assert!(idx == 0 || idx == 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    indices: Vec<usize>,
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table from `(index, weight)` pairs. Entries with
+    /// non-finite or non-positive weight are dropped; returns `None` if no
+    /// positive-weight entry remains.
+    pub fn new(entries: Vec<(usize, f64)>) -> Option<Self> {
+        let filtered: Vec<(usize, f64)> = entries
+            .into_iter()
+            .filter(|(_, w)| w.is_finite() && *w > 0.0)
+            .collect();
+        if filtered.is_empty() {
+            return None;
+        }
+        let n = filtered.len();
+        let total: f64 = filtered.iter().map(|(_, w)| w).sum();
+        let mut prob: Vec<f64> = filtered.iter().map(|(_, w)| w / total * n as f64).collect();
+        let indices: Vec<usize> = filtered.iter().map(|(i, _)| *i).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining keeps probability 1.
+        for s in small.into_iter().chain(large) {
+            prob[s as usize] = 1.0;
+        }
+        Some(AliasSampler {
+            indices,
+            prob,
+            alias,
+        })
+    }
+
+    /// Number of sampleable entries.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the sampler has no entries (never: `new` returns `None`).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Draws one original index, proportional to its weight.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let n = self.prob.len();
+        let slot = rng.below(n as u64) as usize;
+        if rng.f64() < self.prob[slot] {
+            self.indices[slot]
+        } else {
+            self.indices[self.alias[slot] as usize]
+        }
+    }
+}
+
+/// A reasonable default catalog for tests and examples (small but shaped
+/// like the real configurations).
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            initial_videos: 2_000,
+            arrivals_per_day: 100.0,
+            popularity_shape: 0.9,
+            size_median_bytes: 40 * 1024 * 1024,
+            size_sigma: 1.0,
+            size_min_bytes: 2 * 1024 * 1024,
+            size_max_bytes: 1024 * 1024 * 1024,
+            decay_tau: DurationMs::from_days(10),
+            decay_beta: 0.8,
+            initial_age_span: DurationMs::from_days(365),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CatalogConfig {
+        CatalogConfig {
+            initial_videos: 500,
+            arrivals_per_day: 50.0,
+            ..CatalogConfig::default()
+        }
+    }
+
+    #[test]
+    fn generate_produces_initial_plus_arrivals() {
+        let mut rng = DetRng::new(1);
+        let cat = Catalog::generate(&cfg(), DurationMs::from_days(10), &mut rng);
+        assert!(cat.len() >= 500);
+        // ~500 arrivals expected over 10 days at 50/day.
+        let arrivals = cat.len() - 500;
+        assert!(
+            (350..=650).contains(&arrivals),
+            "arrivals={arrivals} far from expectation"
+        );
+    }
+
+    #[test]
+    fn ids_are_dense_birth_ordered() {
+        let mut rng = DetRng::new(2);
+        let cat = Catalog::generate(&cfg(), DurationMs::from_days(2), &mut rng);
+        for (i, v) in cat.videos().iter().enumerate() {
+            assert_eq!(v.id, VideoId(i as u64));
+        }
+        // Arrivals sorted by birth after the initial block.
+        let births: Vec<_> = cat.videos()[500..].iter().map(|v| v.birth).collect();
+        let mut sorted = births.clone();
+        sorted.sort();
+        assert_eq!(births, sorted);
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let mut rng = DetRng::new(3);
+        let cat = Catalog::generate(&cfg(), DurationMs::from_days(1), &mut rng);
+        for v in cat.videos() {
+            assert!(v.size_bytes >= cfg().size_min_bytes);
+            assert!(v.size_bytes <= cfg().size_max_bytes);
+        }
+    }
+
+    #[test]
+    fn effective_weight_decays_with_age() {
+        let mut rng = DetRng::new(4);
+        let cat = Catalog::generate(&cfg(), DurationMs::from_days(1), &mut rng);
+        let v = cat.get(0);
+        let w_early = cat.effective_weight(v, Timestamp::EPOCH);
+        let w_late = cat.effective_weight(v, Timestamp::EPOCH + DurationMs::from_days(30));
+        assert!(w_late < w_early, "decay should reduce weight");
+    }
+
+    #[test]
+    fn unborn_videos_have_zero_weight_and_vanish_from_sampler() {
+        let config = CatalogConfig {
+            initial_videos: 1,
+            arrivals_per_day: 1000.0,
+            ..CatalogConfig::default()
+        };
+        let mut rng = DetRng::new(5);
+        let cat = Catalog::generate(&config, DurationMs::from_days(5), &mut rng);
+        let late_arrival = cat
+            .videos()
+            .iter()
+            .find(|v| v.birth > Timestamp(DurationMs::from_days(1).as_millis()))
+            .expect("some arrival after day 1");
+        assert_eq!(cat.effective_weight(late_arrival, Timestamp::EPOCH), 0.0);
+        let sampler = cat.sampler_at(Timestamp::EPOCH).unwrap();
+        // Only the initial video is live at t=0.
+        assert_eq!(sampler.len(), 1);
+    }
+
+    #[test]
+    fn alias_sampler_matches_weights() {
+        let s = AliasSampler::new(vec![(7, 1.0), (8, 2.0), (9, 7.0)]).unwrap();
+        let mut rng = DetRng::new(6);
+        let mut counts = std::collections::HashMap::new();
+        let n = 200_000;
+        for _ in 0..n {
+            *counts.entry(s.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let f7 = counts[&7] as f64 / n as f64;
+        let f8 = counts[&8] as f64 / n as f64;
+        let f9 = counts[&9] as f64 / n as f64;
+        assert!((f7 - 0.1).abs() < 0.01, "f7={f7}");
+        assert!((f8 - 0.2).abs() < 0.01, "f8={f8}");
+        assert!((f9 - 0.7).abs() < 0.01, "f9={f9}");
+    }
+
+    #[test]
+    fn alias_sampler_rejects_empty_and_bad_weights() {
+        assert!(AliasSampler::new(vec![]).is_none());
+        assert!(AliasSampler::new(vec![(0, 0.0), (1, -2.0), (2, f64::NAN)]).is_none());
+        let s = AliasSampler::new(vec![(3, f64::NAN), (4, 5.0)]).unwrap();
+        assert_eq!(s.len(), 1);
+        let mut rng = DetRng::new(7);
+        assert_eq!(s.sample(&mut rng), 4);
+    }
+
+    #[test]
+    fn config_validation_catches_errors() {
+        let mut c = cfg();
+        c.initial_videos = 0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.size_min_bytes = 10;
+        c.size_max_bytes = 5;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.popularity_shape = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.decay_beta = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.decay_tau = DurationMs::ZERO;
+        assert!(c.validate().is_err());
+        c.decay_beta = 0.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn size_of_looks_up_by_id() {
+        let mut rng = DetRng::new(8);
+        let cat = Catalog::generate(&cfg(), DurationMs::from_days(1), &mut rng);
+        assert_eq!(cat.size_of(VideoId(0)), Some(cat.get(0).size_bytes));
+        assert_eq!(cat.size_of(VideoId(u64::MAX)), None);
+    }
+}

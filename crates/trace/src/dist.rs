@@ -1,0 +1,374 @@
+//! Probability distributions for workload synthesis, from scratch.
+//!
+//! Video-CDN workloads are characterised in the measurement literature by a
+//! handful of distributions, all implemented here against [`DetRng`]:
+//!
+//! * [`Zipf`] — rank popularity ("the Zipfian pattern observed for video
+//!   accesses", paper §1 footnote); sampled by rejection-inversion
+//!   (Hörmann & Derflinger 1996), O(1) per draw for any exponent `s > 0`.
+//! * [`LogNormal`] — video file sizes.
+//! * [`Pareto`] — intrinsic video popularity weights (a Pareto weight
+//!   distribution induces a Zipf-like rank-frequency curve).
+//! * [`sample_exp`] — Poisson inter-arrival gaps.
+//! * [`sample_normal`] — Box–Muller standard normal (basis of lognormal).
+
+use crate::rng::DetRng;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_trace::{dist::sample_normal, rng::DetRng};
+///
+/// let mut r = DetRng::new(1);
+/// let z = sample_normal(&mut r);
+/// assert!(z.is_finite());
+/// ```
+pub fn sample_normal(rng: &mut DetRng) -> f64 {
+    let u1 = rng.f64_open();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples an exponential deviate with the given `rate` (mean `1/rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and strictly positive.
+pub fn sample_exp(rng: &mut DetRng, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be finite and > 0"
+    );
+    -rng.f64_open().ln() / rate
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)`.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_trace::{dist::LogNormal, rng::DetRng};
+///
+/// // Median ~ e^3, all samples positive.
+/// let d = LogNormal::new(3.0, 0.5).unwrap();
+/// let mut r = DetRng::new(2);
+/// assert!(d.sample(&mut r) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, String> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(format!("invalid lognormal params mu={mu} sigma={sigma}"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        (self.mu + self.sigma * sample_normal(rng)).exp()
+    }
+
+    /// The distribution median, `e^mu`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_m` and shape `a`.
+///
+/// Used for intrinsic video popularity weights: a few blockbusters, a long
+/// heavy tail of barely-watched files.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_m: f64,
+    a: f64,
+}
+
+impl Pareto {
+    /// Creates the distribution; both parameters must be finite and > 0.
+    pub fn new(x_m: f64, a: f64) -> Result<Self, String> {
+        if !(x_m.is_finite() && x_m > 0.0 && a.is_finite() && a > 0.0) {
+            return Err(format!("invalid pareto params x_m={x_m} a={a}"));
+        }
+        Ok(Pareto { x_m, a })
+    }
+
+    /// Draws one sample (inverse-CDF method), always `>= x_m`.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.x_m / rng.f64_open().powf(1.0 / self.a)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s > 0`:
+/// `P(rank = k) ∝ k^(-s)`.
+///
+/// Sampling uses rejection-inversion from a continuous envelope
+/// (Hörmann & Derflinger), giving O(1) expected time per draw with no O(n)
+/// tables, so a fresh distribution over a growing catalog stays cheap.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_trace::{dist::Zipf, rng::DetRng};
+///
+/// let z = Zipf::new(1000, 0.9).unwrap();
+/// let mut r = DetRng::new(3);
+/// let k = z.sample(&mut r);
+/// assert!((1..=1000).contains(&k));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n`; requires `n >= 1` and
+    /// finite `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, String> {
+        if n == 0 || !s.is_finite() || s <= 0.0 {
+            return Err(format!("invalid zipf params n={n} s={s}"));
+        }
+        let h = |x: f64| -> f64 { Self::h_static(x, s) };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        // Fast-accept threshold: points close enough to the integer are
+        // always under the histogram bar (Hörmann & Derflinger).
+        let threshold = 2.0 - Self::h_inv_static(h(2.5) - 2.0_f64.powf(-s), s);
+        Ok(Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    // H(x) = ((x)^(1-s) - 1) / (1 - s), continuous envelope integral; for
+    // s == 1 it degenerates to ln(x).
+    fn h_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h_inv_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_static(x, self.s)
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            // u uniform in (h_n, h_x1): the envelope's integral range.
+            let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            // Fast accept: x close enough to k is always inside the bar.
+            if k - x <= self.threshold {
+                return k as u64;
+            }
+            // Exact accept test against the histogram bar of rank k.
+            if u >= Self::h_static(k + 0.5, self.s) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// The unnormalised mass of rank `k`, `k^(-s)`.
+    pub fn weight(&self, k: u64) -> f64 {
+        (k as f64).powf(-self.s)
+    }
+}
+
+/// Samples a "watch fraction" in `(0, 1]`: how much of a video a viewing
+/// session consumes before abandoning.
+///
+/// Measurement studies of YouTube-like traffic find strongly prefix-biased
+/// viewing: with probability `p_full` the session plays the file to the
+/// end; otherwise the watched fraction is exponentially biased toward the
+/// beginning with mean `mean_partial`.
+///
+/// # Panics
+///
+/// Panics if `p_full` is outside `[0,1]` or `mean_partial` outside `(0,1]`.
+pub fn sample_watch_fraction(rng: &mut DetRng, p_full: f64, mean_partial: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_full), "p_full out of [0,1]");
+    assert!(
+        mean_partial > 0.0 && mean_partial <= 1.0,
+        "mean_partial out of (0,1]"
+    );
+    if rng.chance(p_full) {
+        return 1.0;
+    }
+    // Truncated exponential over (0, 1].
+    let lambda = 1.0 / mean_partial;
+    loop {
+        let f = sample_exp(rng, lambda);
+        if f <= 1.0 && f > 0.0 {
+            return f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut r = DetRng::new(101);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = DetRng::new(55);
+        let n = 100_000;
+        let mean = (0..n).map(|_| sample_exp(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate")]
+    fn exponential_rejects_bad_rate() {
+        sample_exp(&mut DetRng::new(0), 0.0);
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::new(2.0, 0.7).unwrap();
+        let mut r = DetRng::new(77);
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[n / 2];
+        assert!((med / d.median() - 1.0).abs() < 0.05, "median={med}");
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn pareto_lower_bound_and_tail() {
+        let p = Pareto::new(1.0, 1.2).unwrap();
+        let mut r = DetRng::new(13);
+        let samples: Vec<f64> = (0..50_000).map(|_| p.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        // Heavy tail: some samples far above the median.
+        let max = samples.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max > 100.0, "max={max}");
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let z = Zipf::new(50, 0.8).unwrap();
+        let mut r = DetRng::new(31);
+        for _ in 0..20_000 {
+            let k = z.sample(&mut r);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_matches_exact_pmf() {
+        // Compare empirical frequencies to the exact normalised pmf.
+        for &s in &[0.6, 1.0, 1.4] {
+            let n = 20u64;
+            let z = Zipf::new(n, s).unwrap();
+            let mut r = DetRng::new(991 + (s * 10.0) as u64);
+            let draws = 400_000;
+            let mut counts = vec![0u64; n as usize + 1];
+            for _ in 0..draws {
+                counts[z.sample(&mut r) as usize] += 1;
+            }
+            let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+            for k in 1..=n {
+                let expect = (k as f64).powf(-s) / norm;
+                let got = counts[k as usize] as f64 / draws as f64;
+                assert!(
+                    (got - expect).abs() < 0.01 + expect * 0.08,
+                    "s={s} k={k}: got {got}, expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_degenerate_n1() {
+        let z = Zipf::new(1, 1.0).unwrap();
+        let mut r = DetRng::new(4);
+        assert_eq!(z.sample(&mut r), 1);
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn watch_fraction_bounds_and_mean() {
+        let mut r = DetRng::new(8);
+        let n = 100_000;
+        let mut full = 0u64;
+        let mut partial_sum = 0.0;
+        let mut partial_n = 0u64;
+        for _ in 0..n {
+            let f = sample_watch_fraction(&mut r, 0.3, 0.35);
+            assert!(f > 0.0 && f <= 1.0);
+            if f == 1.0 {
+                full += 1;
+            } else {
+                partial_sum += f;
+                partial_n += 1;
+            }
+        }
+        let full_frac = full as f64 / n as f64;
+        assert!((full_frac - 0.3).abs() < 0.02, "full={full_frac}");
+        // Truncated-exponential mean is below the untruncated mean of 0.35.
+        let pm = partial_sum / partial_n as f64;
+        assert!(pm > 0.2 && pm < 0.35, "partial mean={pm}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Per-server workload profiles.
+//!
+//! The paper evaluates traces "of six selected servers around the world:
+//! one in Africa, Asia, Australia, Europe, and North and South America"
+//! (§9), noting that "the different levels of efficiency from server to
+//! server indicate different request profiles ... request volume and
+//! diversity" — e.g. the Asian server "is serving more limited requests
+//! compared to the South American one, hence higher efficiencies".
+//!
+//! We encode those qualitative differences as six parameter sets: request
+//! volume (sessions/day), catalog size and popularity-tail heaviness
+//! (diversity), churn, and a timezone-phased diurnal load curve. A linear
+//! [`ServerProfile::scaled`] factor shrinks volume and catalog together so
+//! experiments can run at laptop scale while preserving the
+//! disk-to-working-set ratios that drive the paper's results.
+
+use vcdn_types::DurationMs;
+
+use crate::{catalog::CatalogConfig, session::SessionConfig};
+
+/// Complete description of one server's synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerProfile {
+    /// Human-readable name ("europe", "south-america", ...).
+    pub name: String,
+    /// Viewing sessions per day at the load-curve average.
+    pub sessions_per_day: f64,
+    /// Relative amplitude of the diurnal sine modulation, in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Local hour (0–24) at which load peaks.
+    pub peak_hour: f64,
+    /// Catalog (corpus, sizes, popularity, churn) parameters.
+    pub catalog: CatalogConfig,
+    /// Session (viewing behaviour) parameters.
+    pub session: SessionConfig,
+}
+
+impl ServerProfile {
+    /// Validates the profile.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.sessions_per_day > 0.0 && self.sessions_per_day.is_finite()) {
+            return Err("sessions_per_day must be finite and > 0".into());
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err("diurnal_amplitude out of [0,1)".into());
+        }
+        if !(0.0..=24.0).contains(&self.peak_hour) {
+            return Err("peak_hour out of [0,24]".into());
+        }
+        self.catalog.validate()?;
+        self.session.validate()
+    }
+
+    /// Scales request volume and catalog size by `factor`, preserving the
+    /// disk-to-working-set shape (disk sizes in experiments scale by the
+    /// same factor). `factor` must be finite and positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive, or scales the catalog
+    /// to zero videos.
+    pub fn scaled(mut self, factor: f64) -> ServerProfile {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and > 0"
+        );
+        self.sessions_per_day *= factor;
+        self.catalog.arrivals_per_day *= factor;
+        self.catalog.initial_videos =
+            ((self.catalog.initial_videos as f64 * factor).round() as usize).max(1);
+        self
+    }
+
+    /// The instantaneous session-arrival rate multiplier at hour-of-day
+    /// `h` (may exceed 24 for later days): `1 + A·cos(2π(h − peak)/24)`.
+    pub fn diurnal_multiplier(&self, hour_of_day: f64) -> f64 {
+        1.0 + self.diurnal_amplitude
+            * (std::f64::consts::TAU * (hour_of_day - self.peak_hour) / 24.0).cos()
+    }
+
+    fn base(name: &str) -> ServerProfile {
+        ServerProfile {
+            name: name.to_owned(),
+            sessions_per_day: 40_000.0,
+            diurnal_amplitude: 0.55,
+            peak_hour: 20.0,
+            catalog: CatalogConfig {
+                initial_videos: 240_000,
+                arrivals_per_day: 12_000.0,
+                popularity_shape: 0.95,
+                size_median_bytes: 40 * 1024 * 1024,
+                size_sigma: 1.0,
+                size_min_bytes: 2 * 1024 * 1024,
+                size_max_bytes: 1024 * 1024 * 1024,
+                decay_tau: DurationMs::from_days(10),
+                decay_beta: 0.8,
+                initial_age_span: DurationMs::from_days(365),
+            },
+            session: SessionConfig::default(),
+        }
+    }
+
+    /// The European server: the paper's reference workload (Figures 3–6).
+    pub fn europe() -> ServerProfile {
+        Self::base("europe")
+    }
+
+    /// North America: slightly busier and more diverse than Europe.
+    pub fn north_america() -> ServerProfile {
+        let mut p = Self::base("north-america");
+        p.sessions_per_day = 50_000.0;
+        p.peak_hour = 21.0;
+        p.catalog.initial_videos = 280_000;
+        p.catalog.arrivals_per_day = 14_000.0;
+        p.catalog.popularity_shape = 1.06;
+        p
+    }
+
+    /// South America: the busiest, most diverse request profile — the
+    /// paper observes the *lowest* efficiencies and the widest xLRU gap
+    /// here.
+    pub fn south_america() -> ServerProfile {
+        let mut p = Self::base("south-america");
+        p.sessions_per_day = 60_000.0;
+        p.peak_hour = 21.5;
+        p.catalog.initial_videos = 330_000;
+        p.catalog.arrivals_per_day = 16_000.0;
+        p.catalog.popularity_shape = 1.15;
+        p
+    }
+
+    /// Asia: "more limited requests" — smaller active catalog, more
+    /// concentrated popularity, hence the paper's highest efficiencies.
+    pub fn asia() -> ServerProfile {
+        let mut p = Self::base("asia");
+        p.sessions_per_day = 25_000.0;
+        p.peak_hour = 13.0;
+        p.catalog.initial_videos = 110_000;
+        p.catalog.arrivals_per_day = 5_000.0;
+        p.catalog.popularity_shape = 0.88;
+        p
+    }
+
+    /// Africa: modest volume, moderately concentrated demand.
+    pub fn africa() -> ServerProfile {
+        let mut p = Self::base("africa");
+        p.sessions_per_day = 15_000.0;
+        p.peak_hour = 17.0;
+        p.catalog.initial_videos = 100_000;
+        p.catalog.arrivals_per_day = 4_500.0;
+        p.catalog.popularity_shape = 0.96;
+        p
+    }
+
+    /// Australia: small but relatively diverse profile.
+    pub fn australia() -> ServerProfile {
+        let mut p = Self::base("australia");
+        p.sessions_per_day = 20_000.0;
+        p.peak_hour = 11.0;
+        p.catalog.initial_videos = 130_000;
+        p.catalog.arrivals_per_day = 6_000.0;
+        p.catalog.popularity_shape = 1.03;
+        p
+    }
+
+    /// The six world servers of the paper's evaluation, in the order of
+    /// Figure 7 (Africa, Asia, Australia, Europe, N. America, S. America).
+    pub fn world_servers() -> Vec<ServerProfile> {
+        vec![
+            Self::africa(),
+            Self::asia(),
+            Self::australia(),
+            Self::europe(),
+            Self::north_america(),
+            Self::south_america(),
+        ]
+    }
+
+    /// A deliberately tiny profile for unit tests, examples and doc tests:
+    /// a few hundred small videos, hundreds of sessions per day.
+    pub fn tiny_test() -> ServerProfile {
+        ServerProfile {
+            name: "tiny-test".to_owned(),
+            sessions_per_day: 600.0,
+            diurnal_amplitude: 0.5,
+            peak_hour: 20.0,
+            catalog: CatalogConfig {
+                initial_videos: 200,
+                arrivals_per_day: 20.0,
+                popularity_shape: 0.9,
+                size_median_bytes: 8 * 1024 * 1024,
+                size_sigma: 0.8,
+                size_min_bytes: 1024 * 1024,
+                size_max_bytes: 64 * 1024 * 1024,
+                decay_tau: DurationMs::from_days(5),
+                decay_beta: 0.8,
+                initial_age_span: DurationMs::from_days(60),
+            },
+            session: SessionConfig {
+                request_bytes: 4 * 1024 * 1024,
+                ..SessionConfig::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtin_profiles_validate() {
+        for p in ServerProfile::world_servers()
+            .into_iter()
+            .chain([ServerProfile::tiny_test()])
+        {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn world_servers_order_matches_figure7() {
+        let names: Vec<String> = ServerProfile::world_servers()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "africa",
+                "asia",
+                "australia",
+                "europe",
+                "north-america",
+                "south-america"
+            ]
+        );
+    }
+
+    #[test]
+    fn scaling_shrinks_volume_and_catalog_together() {
+        let p = ServerProfile::europe();
+        let s = p.clone().scaled(0.125);
+        assert!((s.sessions_per_day - p.sessions_per_day * 0.125).abs() < 1e-9);
+        assert_eq!(s.catalog.initial_videos, 30_000);
+        assert!((s.catalog.arrivals_per_day - p.catalog.arrivals_per_day * 0.125).abs() < 1e-9);
+        // Session behaviour and file sizes are NOT scaled.
+        assert_eq!(s.session, p.session);
+        assert_eq!(s.catalog.size_median_bytes, p.catalog.size_median_bytes);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_rejected() {
+        let _ = ServerProfile::europe().scaled(0.0);
+    }
+
+    #[test]
+    fn diurnal_multiplier_peaks_at_peak_hour() {
+        let p = ServerProfile::europe();
+        let at_peak = p.diurnal_multiplier(p.peak_hour);
+        let off_peak = p.diurnal_multiplier(p.peak_hour + 12.0);
+        assert!((at_peak - (1.0 + p.diurnal_amplitude)).abs() < 1e-12);
+        assert!((off_peak - (1.0 - p.diurnal_amplitude)).abs() < 1e-12);
+        assert!(p.diurnal_multiplier(0.0) > 0.0);
+    }
+
+    #[test]
+    fn diurnal_multiplier_has_24h_period() {
+        let p = ServerProfile::asia();
+        for h in 0..24 {
+            let a = p.diurnal_multiplier(h as f64);
+            let b = p.diurnal_multiplier(h as f64 + 24.0);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asia_is_more_concentrated_than_south_america() {
+        // The popularity-shape knob encodes the diversity ordering that
+        // Figure 7 attributes to the servers: a *smaller* Pareto shape
+        // means heavier blockbuster weights, i.e. more concentration.
+        assert!(
+            ServerProfile::asia().catalog.popularity_shape
+                < ServerProfile::south_america().catalog.popularity_shape
+        );
+        assert!(
+            ServerProfile::asia().sessions_per_day
+                < ServerProfile::south_america().sessions_per_day
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut p = ServerProfile::tiny_test();
+        p.sessions_per_day = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = ServerProfile::tiny_test();
+        p.diurnal_amplitude = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = ServerProfile::tiny_test();
+        p.peak_hour = 25.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! A small, fully deterministic pseudo-random number generator.
+//!
+//! Trace generation must be reproducible bit-for-bit across machines and
+//! library versions — a trace seed appearing in `EXPERIMENTS.md` must
+//! regenerate the identical workload years later. We therefore implement
+//! the generator ourselves instead of depending on an external crate whose
+//! stream may change between releases: [`DetRng`] is xoshiro256++ seeded
+//! through SplitMix64, both public-domain algorithms with well-known
+//! reference outputs.
+
+/// SplitMix64 step, used to expand a single `u64` seed into the 256-bit
+/// xoshiro state (the seeding procedure recommended by the xoshiro authors).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_trace::rng::DetRng;
+///
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+///
+/// let x = a.f64(); // uniform in [0, 1)
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // An all-zero state is the one invalid xoshiro state; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        DetRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1]` — safe for `ln()`.
+    pub fn f64_open(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method: unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: lo > hi");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Forks an independent generator, deterministically derived from this
+    /// generator's stream; used to give subsystems (catalog, sessions,
+    /// arrivals) decoupled streams so adding draws to one does not perturb
+    /// the others.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(12345);
+        let mut b = DetRng::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = DetRng::new(17);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = DetRng::new(3);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (8_500..11_500).contains(&c),
+                "bucket {i} count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        DetRng::new(0).below(0);
+    }
+
+    #[test]
+    fn range_inclusive_covers_bounds() {
+        let mut r = DetRng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range_inclusive(10, 13);
+            assert!((10..=13).contains(&v));
+            saw_lo |= v == 10;
+            saw_hi |= v == 13;
+        }
+        assert!(saw_lo && saw_hi);
+        assert_eq!(r.range_inclusive(4, 4), 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(11);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn fork_decouples_streams() {
+        let mut parent_a = DetRng::new(42);
+        let mut child_a = parent_a.fork();
+        let a1 = parent_a.next_u64();
+
+        let mut parent_b = DetRng::new(42);
+        let mut child_b = parent_b.fork();
+        // Consuming extra draws from one child must not affect the parent.
+        for _ in 0..10 {
+            child_b.next_u64();
+        }
+        let b1 = parent_b.next_u64();
+        assert_eq!(a1, b1);
+        // Children forked at the same point produce identical streams.
+        let skip = |r: &mut DetRng, n: usize| {
+            for _ in 0..n {
+                r.next_u64();
+            }
+        };
+        skip(&mut child_a, 10);
+        assert_eq!(child_a.next_u64(), child_b.next_u64());
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for workload generation: distribution bounds,
+//! session structure, trace invariants and down-sampling soundness.
+
+use proptest::prelude::*;
+use vcdn_trace::{
+    dist::{sample_exp, sample_watch_fraction, LogNormal, Pareto, Zipf},
+    downsample,
+    rng::DetRng,
+    session::{expand_session, SessionConfig},
+    DownsampleConfig, ServerProfile, TraceGenerator,
+};
+use vcdn_types::{ChunkSize, DurationMs, Timestamp, VideoId};
+
+proptest! {
+    #[test]
+    fn rng_streams_are_seed_deterministic(seed in any::<u64>()) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_below_stays_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_rank_range(
+        seed in any::<u64>(),
+        n in 1u64..10_000,
+        s in 0.1f64..2.5,
+    ) {
+        let z = Zipf::new(n, s).expect("valid zipf");
+        let mut r = DetRng::new(seed);
+        for _ in 0..64 {
+            let k = z.sample(&mut r);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale(seed in any::<u64>(), xm in 0.1f64..10.0, a in 0.2f64..4.0) {
+        let p = Pareto::new(xm, a).expect("valid pareto");
+        let mut r = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(p.sample(&mut r) >= xm);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive(seed in any::<u64>(), mu in -3.0f64..10.0, sigma in 0.0f64..2.0) {
+        let d = LogNormal::new(mu, sigma).expect("valid lognormal");
+        let mut r = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive(seed in any::<u64>(), rate in 0.001f64..100.0) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(sample_exp(&mut r, rate) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn watch_fraction_in_unit_interval(
+        seed in any::<u64>(),
+        p_full in 0.0f64..=1.0,
+        mean in 0.01f64..=1.0,
+    ) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..32 {
+            let f = sample_watch_fraction(&mut r, p_full, mean);
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sessions_cover_contiguous_in_file_ranges(
+        seed in any::<u64>(),
+        size in 1u64..500_000_000,
+        req_bytes in 1u64..64_000_000,
+    ) {
+        let cfg = SessionConfig {
+            request_bytes: req_bytes,
+            ..SessionConfig::default()
+        };
+        let mut r = DetRng::new(seed);
+        let reqs = expand_session(VideoId(1), size, Timestamp(7), &cfg, &mut r);
+        prop_assert!(!reqs.is_empty());
+        prop_assert!(reqs[0].t == Timestamp(7));
+        for w in reqs.windows(2) {
+            prop_assert_eq!(w[1].bytes.start, w[0].bytes.end + 1);
+            prop_assert!(w[0].t <= w[1].t);
+        }
+        for q in &reqs {
+            prop_assert!(q.bytes.end < size);
+            prop_assert!(q.byte_len() <= req_bytes);
+        }
+    }
+
+    #[test]
+    fn generated_traces_are_ordered_and_deterministic(seed in any::<u64>()) {
+        let profile = ServerProfile::tiny_test();
+        let a = TraceGenerator::new(profile.clone(), seed).generate(DurationMs::from_hours(3));
+        let b = TraceGenerator::new(profile, seed).generate(DurationMs::from_hours(3));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.requests.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn downsample_never_invents_requests(
+        seed in any::<u64>(),
+        files in 1usize..40,
+        cap_mb in 1u64..30,
+    ) {
+        let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
+            .generate(DurationMs::from_hours(12));
+        let cfg = DownsampleConfig {
+            files,
+            size_cap_bytes: cap_mb * 1024 * 1024,
+            from: Timestamp::EPOCH,
+            to: Timestamp(DurationMs::from_hours(12).as_millis()),
+        };
+        let d = downsample(&trace, &cfg);
+        prop_assert!(d.len() <= trace.len());
+        let videos: std::collections::HashSet<VideoId> =
+            d.requests.iter().map(|r| r.video).collect();
+        prop_assert!(videos.len() <= files);
+        for r in &d.requests {
+            prop_assert!(r.bytes.end < cap_mb * 1024 * 1024);
+        }
+        // Every kept request is a (possibly clipped) original request.
+        for r in &d.requests {
+            prop_assert!(
+                trace.requests.iter().any(|o| o.video == r.video
+                    && o.t == r.t
+                    && o.bytes.start == r.bytes.start
+                    && o.bytes.end >= r.bytes.end),
+                "downsampled request {r} has no original"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_identities_hold(seed in any::<u64>()) {
+        let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
+            .generate(DurationMs::from_hours(8));
+        let k = ChunkSize::DEFAULT;
+        let s = vcdn_trace::stats::trace_stats(&trace, k);
+        prop_assert_eq!(s.requests, trace.len());
+        prop_assert!(s.requested_chunk_bytes >= s.requested_bytes);
+        prop_assert!(s.unique_chunks >= s.unique_videos);
+        prop_assert!((0.0..=1.0).contains(&s.tail_fraction));
+        prop_assert_eq!(
+            s.hourly_histogram.iter().sum::<u64>() as usize,
+            s.requests
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn binary_format_roundtrips_generated_traces(seed in any::<u64>()) {
+        let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
+            .generate(DurationMs::from_hours(2));
+        let dir = std::env::temp_dir().join("vcdn-prop-binfmt");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("t{seed}.vctb"));
+        vcdn_trace::save_binary(&trace, &path).expect("save");
+        let back = vcdn_trace::load_binary(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_format_roundtrips_generated_traces(seed in any::<u64>()) {
+        let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
+            .generate(DurationMs::from_hours(2));
+        let dir = std::env::temp_dir().join("vcdn-prop-jsonl");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("t{seed}.jsonl"));
+        trace.save_jsonl(&path).expect("save");
+        let back = vcdn_trace::Trace::load_jsonl(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,85 @@
+//! Identifiers for videos and fixed-size chunks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a video file in the CDN catalog.
+///
+/// The paper's request record carries `R.v`; anonymised IDs are modelled as
+/// plain `u64`s assigned by the trace generator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VideoId(pub u64);
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A fixed-size chunk of a video: the unit of disk storage and cache-fill.
+///
+/// Section 4 of the paper divides files into chunks of `K` bytes
+/// ("e.g., 2 MB") so that partial caching deals in uniform units "uniquely
+/// identified with a video ID `v` and chunk number `c`".
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_types::{ChunkId, VideoId};
+///
+/// let c = ChunkId::new(VideoId(3), 14);
+/// assert_eq!(c.video, VideoId(3));
+/// assert_eq!(c.index, 14);
+/// assert_eq!(c.to_string(), "v3#14");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId {
+    /// The video this chunk belongs to.
+    pub video: VideoId,
+    /// Zero-based chunk number within the video.
+    pub index: u32,
+}
+
+impl ChunkId {
+    /// Creates a chunk identifier.
+    pub const fn new(video: VideoId, index: u32) -> Self {
+        ChunkId { video, index }
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.video, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ordering_is_video_major() {
+        let a = ChunkId::new(VideoId(1), 99);
+        let b = ChunkId::new(VideoId(2), 0);
+        assert!(a < b);
+        assert!(ChunkId::new(VideoId(1), 3) < ChunkId::new(VideoId(1), 4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VideoId(42).to_string(), "v42");
+        assert_eq!(ChunkId::new(VideoId(42), 7).to_string(), "v42#7");
+    }
+
+    #[test]
+    fn chunk_id_is_hashable_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(ChunkId::new(VideoId(1), 2), "x");
+        assert_eq!(m.get(&ChunkId::new(VideoId(1), 2)), Some(&"x"));
+        assert_eq!(m.get(&ChunkId::new(VideoId(1), 3)), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! The request record replayed through the caches.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ids::VideoId,
+    range::{ByteRange, ChunkRange, ChunkSize},
+    time::Timestamp,
+};
+
+/// One client (or downstream-server) request: video `R.v`, inclusive byte
+/// range `[R.b0, R.b1]` and arrival timestamp `R.t` (paper, Section 4).
+///
+/// A server must either fully serve or fully redirect the requested range:
+/// clients never download a single range from multiple servers.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_types::{ByteRange, ChunkSize, Request, Timestamp, VideoId};
+///
+/// let k = ChunkSize::new(100).unwrap();
+/// let r = Request::new(VideoId(1), ByteRange::new(150, 420).unwrap(), Timestamp(9));
+/// assert_eq!(r.chunk_range(k).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+/// assert_eq!(r.bytes.len(), 271);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// The requested video, `R.v`.
+    pub video: VideoId,
+    /// The inclusive requested byte range, `[R.b0, R.b1]`.
+    pub bytes: ByteRange,
+    /// Arrival time, `R.t`.
+    pub t: Timestamp,
+}
+
+impl Request {
+    /// Creates a request record.
+    pub const fn new(video: VideoId, bytes: ByteRange, t: Timestamp) -> Self {
+        Request { video, bytes, t }
+    }
+
+    /// The chunk range `[⌊R.b0/K⌋, ⌊R.b1/K⌋]` covering the byte range.
+    pub const fn chunk_range(&self, k: ChunkSize) -> ChunkRange {
+        self.bytes.chunk_range(k)
+    }
+
+    /// Number of requested bytes (`R.b1 − R.b0 + 1`).
+    pub const fn byte_len(&self) -> u64 {
+        self.bytes.len()
+    }
+
+    /// Number of chunks the request touches (`|R|_c` in the paper's IP).
+    pub const fn chunk_len(&self, k: ChunkSize) -> u64 {
+        self.bytes.chunk_range(k).len()
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} @{}", self.video, self.bytes, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_counts_touched_chunks() {
+        let k = ChunkSize::new(10).unwrap();
+        let r = Request::new(VideoId(0), ByteRange::new(9, 10).unwrap(), Timestamp(0));
+        // Bytes 9 and 10 straddle the chunk 0/1 boundary.
+        assert_eq!(r.chunk_len(k), 2);
+        assert_eq!(r.byte_len(), 2);
+    }
+
+    #[test]
+    fn aligned_request_touches_exact_chunks() {
+        let k = ChunkSize::new(10).unwrap();
+        let r = Request::new(VideoId(0), ByteRange::new(20, 39).unwrap(), Timestamp(0));
+        assert_eq!(r.chunk_range(k), ChunkRange::new(2, 3).unwrap());
+        assert_eq!(r.chunk_len(k), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Request::new(VideoId(5), ByteRange::new(0, 99).unwrap(), Timestamp(7));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

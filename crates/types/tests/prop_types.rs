@@ -1,0 +1,123 @@
+//! Property-based tests for the core vocabulary: range arithmetic, the
+//! cost model's normalisation, and traffic-counter identities.
+
+use proptest::prelude::*;
+use vcdn_types::{
+    ByteRange, ChunkRange, ChunkSize, CostModel, Request, Timestamp, TrafficCounter, VideoId,
+};
+
+proptest! {
+    #[test]
+    fn byte_to_chunk_range_covers_every_requested_byte(
+        start in 0u64..1_000_000,
+        len in 1u64..1_000_000,
+        k in 1u64..100_000,
+    ) {
+        let k = ChunkSize::new(k).expect("non-zero");
+        let bytes = ByteRange::new(start, start + len - 1).expect("start <= end");
+        let chunks = bytes.chunk_range(k);
+        // First chunk contains the first byte; last chunk the last byte.
+        prop_assert_eq!(u64::from(chunks.start), k.chunk_of_byte(bytes.start));
+        prop_assert_eq!(u64::from(chunks.end), k.chunk_of_byte(bytes.end));
+        // Chunk-covered byte span is a superset of the byte range.
+        let covered_start = u64::from(chunks.start) * k.bytes();
+        let covered_end = (u64::from(chunks.end) + 1) * k.bytes() - 1;
+        prop_assert!(covered_start <= bytes.start);
+        prop_assert!(covered_end >= bytes.end);
+        // And wastes less than one chunk on each side.
+        prop_assert!(bytes.start - covered_start < k.bytes());
+        prop_assert!(covered_end - bytes.end < k.bytes());
+    }
+
+    #[test]
+    fn chunk_count_identities(start in 0u64..10_000, len in 1u64..100_000, k in 1u64..1_000) {
+        let k = ChunkSize::new(k).expect("non-zero");
+        let r = Request::new(
+            VideoId(1),
+            ByteRange::new(start, start + len - 1).expect("valid"),
+            Timestamp(0),
+        );
+        let n = r.chunk_len(k);
+        // A request of `len` bytes touches between ceil(len/K) and
+        // ceil(len/K)+1 chunks (misalignment adds at most one).
+        let lower = len.div_ceil(k.bytes());
+        prop_assert!(n >= lower);
+        prop_assert!(n <= lower + 1);
+        prop_assert_eq!(r.byte_len(), len);
+    }
+
+    #[test]
+    fn chunk_range_len_matches_iteration(s in 0u32..1000, extra in 0u32..100) {
+        let r = ChunkRange::new(s, s + extra).expect("valid");
+        prop_assert_eq!(r.len() as usize, r.iter().count());
+        prop_assert!(r.iter().all(|c| r.contains(c)));
+    }
+
+    #[test]
+    fn cost_model_normalisation(alpha in 0.01f64..100.0) {
+        let m = CostModel::from_alpha(alpha).expect("valid alpha");
+        prop_assert!((m.c_f() + m.c_r() - 2.0).abs() < 1e-9);
+        prop_assert!((m.c_f() / m.c_r() - alpha).abs() < alpha * 1e-9 + 1e-9);
+        prop_assert!(m.min_cost() <= m.c_f() + 1e-12);
+        prop_assert!(m.min_cost() <= m.c_r() + 1e-12);
+        prop_assert!(m.c_f() > 0.0 && m.c_r() > 0.0);
+    }
+
+    #[test]
+    fn efficiency_bounds_and_identity(
+        hit in 0u64..1_000_000,
+        fill in 0u64..1_000_000,
+        redirect in 0u64..1_000_000,
+        alpha in 0.05f64..20.0,
+    ) {
+        let mut t = TrafficCounter::default();
+        t.record_hit(hit);
+        t.record_fill(fill);
+        t.record_redirect(redirect);
+        let m = CostModel::from_alpha(alpha).expect("valid alpha");
+        let e = t.efficiency(m);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "eff {e}");
+        prop_assert_eq!(t.requested_bytes(), hit + fill + redirect);
+        prop_assert_eq!(t.served_bytes(), hit + fill);
+        // All-hit traffic has efficiency exactly 1.
+        if fill == 0 && redirect == 0 && hit > 0 {
+            prop_assert!((e - 1.0).abs() < 1e-12);
+        }
+        // Efficiency decomposes: 1 - fill_frac*C_F - red_frac*C_R.
+        if t.requested_bytes() > 0 {
+            let total = t.requested_bytes() as f64;
+            let expect = 1.0
+                - fill as f64 / total * m.c_f()
+                - redirect as f64 / total * m.c_r();
+            prop_assert!((e - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traffic_counter_addition_is_fieldwise(
+        a in (0u64..1000, 0u64..1000, 0u64..1000),
+        b in (0u64..1000, 0u64..1000, 0u64..1000),
+    ) {
+        let mk = |(h, f, r): (u64, u64, u64)| {
+            let mut t = TrafficCounter::default();
+            t.record_hit(h);
+            t.record_fill(f);
+            t.record_redirect(r);
+            t
+        };
+        let (ta, tb) = (mk(a), mk(b));
+        let sum = ta + tb;
+        prop_assert_eq!(sum.hit_bytes, ta.hit_bytes + tb.hit_bytes);
+        prop_assert_eq!(sum.requested_bytes(), ta.requested_bytes() + tb.requested_bytes());
+    }
+
+    #[test]
+    fn timestamp_arithmetic_is_consistent(a in 0u64..u64::MAX / 2, d in 0u64..1_000_000) {
+        use vcdn_types::DurationMs;
+        let t = Timestamp(a);
+        let later = t + DurationMs(d);
+        prop_assert_eq!(later - t, DurationMs(d));
+        prop_assert_eq!(t - later, DurationMs::ZERO);
+        prop_assert!(later >= t);
+    }
+}

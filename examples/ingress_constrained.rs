@@ -1,0 +1,63 @@
+//! Tuning a server's operating point with `α_F2R`.
+//!
+//! The paper's §4.1 describes servers whose ingress is expensive — e.g. a
+//! location whose cache-fill traffic crosses the CDN backbone, or one
+//! whose disks lose 1.2–1.3 reads per write. The CDN expresses that
+//! preference with a single knob, `α_F2R`; the cache is expected to
+//! *comply*: shrink ingress as α grows, trading a controlled increase in
+//! redirects.
+//!
+//! This example sweeps α for Cafe and xLRU on one workload and prints the
+//! resulting operating points — Figure 5's story as a program.
+//!
+//! Run with: `cargo run --release --example ingress_constrained`
+
+use vcdn::cache::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
+use vcdn::sim::report::{eff, Table};
+use vcdn::sim::{DiskIoModel, ReplayConfig, Replayer};
+use vcdn::trace::{ServerProfile, TraceGenerator};
+use vcdn::types::{ChunkSize, CostModel, DurationMs};
+
+fn main() {
+    let profile = ServerProfile::europe().scaled(1.0 / 64.0);
+    let trace = TraceGenerator::new(profile, 11).generate(DurationMs::from_days(14));
+    println!("replaying {} requests (14 simulated days)...", trace.len());
+
+    let k = ChunkSize::DEFAULT;
+    let disk = 8 * 1024;
+    let io = DiskIoModel::paper_default();
+
+    let mut table = Table::new(vec![
+        "alpha",
+        "algo",
+        "ingress%",
+        "redirect%",
+        "efficiency",
+        "read loss",
+    ]);
+    for alpha in [4.0, 2.0, 1.0, 0.5] {
+        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+        let replayer = Replayer::new(ReplayConfig::new(k, costs));
+        let mut caches: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(XlruCache::new(CacheConfig::new(disk, k, costs))),
+            Box::new(CafeCache::new(CafeConfig::new(disk, k, costs))),
+        ];
+        for cache in &mut caches {
+            let r = replayer.replay(&trace, cache.as_mut());
+            table.row(vec![
+                format!("{alpha}"),
+                r.policy.to_string(),
+                format!("{:.1}", r.ingress_pct()),
+                format!("{:.1}", r.redirect_pct()),
+                eff(r.efficiency()),
+                format!("{:.1}%", io.read_capacity_loss(&r.steady) * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Cafe complies with the knob: its ingress shrinks steadily as alpha \
+         grows, cutting the disk-read capacity lost to fill writes; xLRU's \
+         ingress barely moves."
+    );
+}

@@ -1,0 +1,45 @@
+//! `vcdn` — a production-quality reproduction of *"Caching in Video CDNs:
+//! Building Strong Lines of Defense"* (Mokhtarian & Jacobsen, EuroSys 2014).
+//!
+//! This facade crate re-exports the whole workspace under one name so that
+//! applications can depend on a single crate:
+//!
+//! * [`types`] — identifiers, timestamps, ranges, requests, cost model and
+//!   traffic counters (crate `vcdn-types`).
+//! * [`trace`] — the synthetic video-workload generator and trace I/O
+//!   (crate `vcdn-trace`).
+//! * [`lp`] — the from-scratch two-phase simplex LP solver used by the
+//!   Optimal cache (crate `vcdn-lp`).
+//! * [`cache`] — the paper's caching algorithms: xLRU, Cafe, Psychic and
+//!   the LP-relaxed Optimal bound (crate `vcdn-core`).
+//! * [`sim`] — the replay engine, windowed metrics and reporting
+//!   (crate `vcdn-sim`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vcdn::cache::{CachePolicy, CafeCache, CafeConfig};
+//! use vcdn::sim::{Replayer, ReplayConfig};
+//! use vcdn::trace::{ServerProfile, TraceGenerator};
+//! use vcdn::types::{ChunkSize, CostModel, DurationMs};
+//!
+//! // Generate a small synthetic workload.
+//! let profile = ServerProfile::tiny_test();
+//! let trace = TraceGenerator::new(profile, 42).generate(DurationMs::from_hours(6));
+//!
+//! // Configure an ingress-constrained Cafe cache (alpha_F2R = 2).
+//! let costs = CostModel::from_alpha(2.0).unwrap();
+//! let k = ChunkSize::DEFAULT;
+//! let disk_chunks = 256;
+//! let mut cache = CafeCache::new(CafeConfig::new(disk_chunks, k, costs));
+//!
+//! // Replay and report.
+//! let report = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+//! println!("efficiency = {:.3}", report.overall.efficiency(costs));
+//! ```
+
+pub use vcdn_core as cache;
+pub use vcdn_lp as lp;
+pub use vcdn_sim as sim;
+pub use vcdn_trace as trace;
+pub use vcdn_types as types;

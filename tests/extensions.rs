@@ -1,0 +1,147 @@
+//! Integration tests for the §10 extension features, driven end-to-end
+//! through the replay engine on generated workloads.
+
+use vcdn::cache::{
+    AlphaControlConfig, CacheConfig, CachePolicy, CafeCache, CafeConfig, ControlledCafeCache,
+    PrefetchConfig, ProactiveCafeCache, XlruCache,
+};
+use vcdn::sim::{replay_hierarchy, ReplayConfig, Replayer};
+use vcdn::trace::{ServerProfile, Trace, TraceGenerator};
+use vcdn::types::{ChunkSize, CostModel, DurationMs};
+
+const K: ChunkSize = ChunkSize::DEFAULT;
+
+fn trace(days: u64, seed: u64) -> Trace {
+    TraceGenerator::new(ServerProfile::tiny_test(), seed).generate(DurationMs::from_days(days))
+}
+
+#[test]
+fn control_loop_steers_ingress_between_extremes() {
+    let t = trace(6, 51);
+    let base = CostModel::from_alpha(2.0).expect("valid");
+    let replayer = Replayer::new(ReplayConfig::new(K, base));
+    let run = |target: f64| -> (f64, f64) {
+        let inner = CafeCache::new(CafeConfig::new(256, K, base));
+        let mut ctl = ControlledCafeCache::new(
+            inner,
+            AlphaControlConfig {
+                target_ingress_pct: target,
+                alpha_band: (0.5, 8.0),
+                window: DurationMs::from_hours(1),
+                gain: 0.25,
+            },
+        );
+        let r = replayer.replay(&t, &mut ctl);
+        (r.ingress_pct(), ctl.current_alpha())
+    };
+    let (low_target_ing, low_alpha) = run(1.0);
+    let (high_target_ing, high_alpha) = run(60.0);
+    // Chasing a tiny ingress target must yield less ingress (and a higher
+    // alpha) than chasing a huge one.
+    assert!(
+        low_target_ing < high_target_ing,
+        "control loop had no effect: {low_target_ing} vs {high_target_ing}"
+    );
+    assert!(low_alpha > high_alpha);
+}
+
+#[test]
+fn controlled_cache_matches_fixed_cache_when_band_is_degenerate() {
+    // A [2,2] band cannot move alpha: results must equal plain Cafe.
+    let t = trace(3, 52);
+    let base = CostModel::from_alpha(2.0).expect("valid");
+    let replayer = Replayer::new(ReplayConfig::new(K, base));
+    let mut fixed = CafeCache::new(CafeConfig::new(128, K, base));
+    let r_fixed = replayer.replay(&t, &mut fixed);
+    let inner = CafeCache::new(CafeConfig::new(128, K, base));
+    let mut ctl = ControlledCafeCache::new(
+        inner,
+        AlphaControlConfig {
+            target_ingress_pct: 5.0,
+            alpha_band: (2.0, 2.0),
+            window: DurationMs::from_hours(1),
+            gain: 0.25,
+        },
+    );
+    let r_ctl = replayer.replay(&t, &mut ctl);
+    assert_eq!(r_fixed.overall, r_ctl.overall);
+}
+
+#[test]
+fn prefetcher_only_acts_off_peak() {
+    let t = trace(4, 53);
+    let costs = CostModel::from_alpha(2.0).expect("valid");
+    let replayer = Replayer::new(ReplayConfig::new(K, costs));
+    // A window that never matches any hour: no prefetching at all.
+    let never = PrefetchConfig {
+        offpeak_start_hour: 3.0,
+        offpeak_end_hour: 3.0,
+        ..PrefetchConfig::early_morning()
+    };
+    let inner = CafeCache::new(CafeConfig::new(128, K, costs));
+    let mut idle = ProactiveCafeCache::new(inner, never);
+    let r_idle = replayer.replay(&t, &mut idle);
+    assert_eq!(idle.prefetched_chunks(), 0);
+    // A plain cache must behave identically.
+    let mut plain = CafeCache::new(CafeConfig::new(128, K, costs));
+    let r_plain = replayer.replay(&t, &mut plain);
+    assert_eq!(r_idle.overall, r_plain.overall);
+}
+
+#[test]
+fn prefetcher_brings_in_chunks_when_always_on() {
+    let t = trace(4, 54);
+    let costs = CostModel::from_alpha(4.0).expect("valid");
+    let all_day = PrefetchConfig {
+        offpeak_start_hour: 0.0,
+        offpeak_end_hour: 23.99,
+        budget_chunks_per_tick: 32,
+        tick: DurationMs::from_secs(600),
+    };
+    let inner = CafeCache::new(CafeConfig::new(128, K, costs));
+    let mut pro = ProactiveCafeCache::new(inner, all_day);
+    let replayer = Replayer::new(ReplayConfig::new(K, costs));
+    let _ = replayer.replay(&t, &mut pro);
+    assert!(
+        pro.prefetched_chunks() > 0,
+        "an always-on prefetcher under constrained alpha should act"
+    );
+    assert!(pro.disk_used_chunks() <= pro.disk_capacity_chunks());
+}
+
+#[test]
+fn hierarchy_edge_alpha_shifts_fill_to_parent() {
+    let t = trace(6, 55);
+    let parent_costs = CostModel::balanced();
+    let run = |alpha: f64| -> (u64, u64) {
+        let edge_costs = CostModel::from_alpha(alpha).expect("valid");
+        let mut edge = CafeCache::new(CafeConfig::new(128, K, edge_costs));
+        let mut parent = XlruCache::new(CacheConfig::new(512, K, parent_costs));
+        let r = replay_hierarchy(&t, &mut edge, &mut parent);
+        (r.edge.fill_bytes, r.parent.fill_bytes)
+    };
+    let (edge_lo, parent_lo) = run(1.0);
+    let (edge_hi, parent_hi) = run(4.0);
+    assert!(
+        edge_hi < edge_lo,
+        "edge fill should shrink with alpha: {edge_hi} vs {edge_lo}"
+    );
+    assert!(
+        parent_hi > parent_lo,
+        "parent should absorb the shifted fills: {parent_hi} vs {parent_lo}"
+    );
+}
+
+#[test]
+fn hierarchy_conservation_of_bytes() {
+    let t = trace(3, 56);
+    let costs = CostModel::from_alpha(2.0).expect("valid");
+    let mut edge = CafeCache::new(CafeConfig::new(64, K, costs));
+    let mut parent = CafeCache::new(CafeConfig::new(256, K, CostModel::balanced()));
+    let r = replay_hierarchy(&t, &mut edge, &mut parent);
+    let requested: u64 = t.requests.iter().map(|q| q.chunk_len(K) * K.bytes()).sum();
+    // Edge accounts every requested byte; parent re-accounts redirects.
+    assert_eq!(r.edge.requested_bytes(), requested);
+    assert_eq!(r.parent.requested_bytes(), r.edge.redirect_bytes);
+    assert_eq!(r.origin_bytes, r.parent.redirect_bytes);
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the Optimal cache's LP bound against real replay
+//! costs: the bound must upper-bound the efficiency of every schedule an
+//! online (or offline-greedy) cache actually achieves.
+
+use vcdn::cache::{
+    lp_bound_paper, lp_bound_reduced, CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache,
+    PsychicCache, PsychicConfig, XlruCache,
+};
+use vcdn::trace::{downsample, DownsampleConfig, ServerProfile, Trace, TraceGenerator};
+use vcdn::types::{ChunkSize, CostModel, Decision, DurationMs, Request, Timestamp};
+
+fn k4() -> ChunkSize {
+    ChunkSize::new(4 * 1024 * 1024).expect("non-zero")
+}
+
+/// A small down-sampled trace in the style of the paper's §9.1.
+fn small_trace(max_requests: usize) -> Trace {
+    let full =
+        TraceGenerator::new(ServerProfile::tiny_test(), 77).generate(DurationMs::from_days(2));
+    let cfg = DownsampleConfig {
+        files: 30,
+        ..DownsampleConfig::paper_default(Timestamp::EPOCH)
+    };
+    let mut t = downsample(&full, &cfg);
+    t.requests.truncate(max_requests);
+    t
+}
+
+/// Replays a policy and accounts its cost in the LP's chunk units with the
+/// paper's half-cost-per-transition convention *conservatively replaced*
+/// by full fill costs — so `lp_cost <= replay_cost` must hold a fortiori.
+fn replay_cost(policy: &mut dyn CachePolicy, requests: &[Request], cfg: &CacheConfig) -> f64 {
+    let mut cost = 0.0;
+    for r in requests {
+        match policy.handle_request(r) {
+            Decision::Serve(o) => cost += o.filled_chunks as f64 * cfg.costs.c_f(),
+            Decision::Redirect => {
+                cost += r.chunk_len(cfg.chunk_size) as f64 * cfg.costs.c_r();
+            }
+        }
+    }
+    cost
+}
+
+#[test]
+fn lp_bound_below_every_cache_cost() {
+    let trace = small_trace(60);
+    let max_req = trace
+        .requests
+        .iter()
+        .map(|r| r.chunk_len(k4()))
+        .max()
+        .unwrap_or(1);
+    for alpha in [0.5, 1.0, 2.0] {
+        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+        let cfg = CacheConfig::new((2 * max_req).max(8), k4(), costs);
+        let bound = lp_bound_reduced(&trace.requests, &cfg).expect("LP solves");
+        let mut policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(LruCache::new(cfg)),
+            Box::new(XlruCache::new(cfg)),
+            Box::new(CafeCache::new(CafeConfig {
+                cache: cfg,
+                ..CafeConfig::new(cfg.disk_chunks, k4(), costs)
+            })),
+            Box::new(PsychicCache::new(
+                PsychicConfig::new(cfg.disk_chunks, k4(), costs),
+                &trace.requests,
+            )),
+        ];
+        for p in &mut policies {
+            let cost = replay_cost(p.as_mut(), &trace.requests, &cfg);
+            assert!(
+                bound.lp_cost <= cost + 1e-6,
+                "alpha={alpha} {}: LP {} > achieved {cost}",
+                p.name(),
+                bound.lp_cost
+            );
+        }
+    }
+}
+
+#[test]
+fn formulations_agree_on_generated_traces() {
+    for seed in [1u64, 2, 3] {
+        let full = TraceGenerator::new(ServerProfile::tiny_test(), seed)
+            .generate(DurationMs::from_hours(12));
+        let cfg_ds = DownsampleConfig {
+            files: 10,
+            size_cap_bytes: 8 * 1024 * 1024,
+            from: Timestamp::EPOCH,
+            to: Timestamp(DurationMs::from_hours(12).as_millis()),
+        };
+        let mut t = downsample(&full, &cfg_ds);
+        t.requests.truncate(25);
+        for alpha in [1.0, 2.0] {
+            let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+            let cfg = CacheConfig::new(4, k4(), costs);
+            let paper = lp_bound_paper(&t.requests, &cfg).expect("paper LP");
+            let reduced = lp_bound_reduced(&t.requests, &cfg).expect("reduced LP");
+            assert!(
+                (paper.lp_cost - reduced.lp_cost).abs() < 1e-5,
+                "seed {seed} alpha {alpha}: {} vs {}",
+                paper.lp_cost,
+                reduced.lp_cost
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_monotone_in_disk_size() {
+    // More disk can only lower the optimal cost.
+    let trace = small_trace(50);
+    let costs = CostModel::balanced();
+    let mut last = f64::INFINITY;
+    for disk in [4u64, 8, 16, 64] {
+        let cfg = CacheConfig::new(disk, k4(), costs);
+        let bound = lp_bound_reduced(&trace.requests, &cfg).expect("LP solves");
+        assert!(
+            bound.lp_cost <= last + 1e-7,
+            "cost must not grow with disk: {} after {last}",
+            bound.lp_cost
+        );
+        last = bound.lp_cost;
+    }
+}
+
+#[test]
+fn bound_matches_closed_form_for_one_shot_traces() {
+    // A trace of 20 distinct one-shot chunks, disk 4. Under the paper's
+    // half-cost-per-transition objective, each chunk independently costs
+    // the cheapest of: redirect (C_R), fill + later evict (C_F), or — for
+    // up to D_c chunks that can stay until the end of the horizon —
+    // fill and keep (C_F/2).
+    let requests: Vec<Request> = (0..20)
+        .map(|i| {
+            Request::new(
+                vcdn::types::VideoId(i),
+                vcdn::types::ByteRange::new(0, 4 * 1024 * 1024 - 1).expect("valid range"),
+                Timestamp(i * 1_000),
+            )
+        })
+        .collect();
+    for alpha in [1.0, 2.0, 4.0] {
+        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+        let cfg = CacheConfig::new(4, k4(), costs);
+        let bound = lp_bound_reduced(&requests, &cfg).expect("LP solves");
+        let (c_f, c_r) = (costs.c_f(), costs.c_r());
+        let expected = 16.0 * c_f.min(c_r) + 4.0 * (c_f / 2.0).min(c_r);
+        assert!(
+            (bound.lp_cost - expected).abs() < 1e-5,
+            "alpha={alpha}: got {} want {expected}",
+            bound.lp_cost
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Opt-in soak test: a heavier replay through every algorithm with all
+//! invariant checks enabled. Excluded from the default run; execute with
+//! `cargo test --test soak -- --ignored`.
+
+use vcdn::cache::{
+    CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig,
+    XlruCache,
+};
+use vcdn::sim::{ReplayConfig, Replayer};
+use vcdn::trace::{ServerProfile, TraceGenerator};
+use vcdn::types::{ChunkSize, CostModel, DurationMs};
+
+#[test]
+#[ignore = "heavy: ~1 minute; run with --ignored"]
+fn month_long_soak_with_invariant_checks() {
+    let k = ChunkSize::DEFAULT;
+    let profile = ServerProfile::europe().scaled(1.0 / 64.0);
+    let trace = TraceGenerator::new(profile, 424242).generate(DurationMs::from_days(30));
+    assert!(
+        trace.len() > 10_000,
+        "soak trace too small: {}",
+        trace.len()
+    );
+    let disk = 8 * 1024;
+    for alpha in [0.5, 1.0, 2.0, 4.0] {
+        let costs = CostModel::from_alpha(alpha).expect("valid");
+        let replayer = Replayer::new(ReplayConfig::new(k, costs)); // checks on
+        let mut policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(LruCache::new(CacheConfig::new(disk, k, costs))),
+            Box::new(XlruCache::new(CacheConfig::new(disk, k, costs))),
+            Box::new(CafeCache::new(CafeConfig::new(disk, k, costs))),
+            Box::new(PsychicCache::new(
+                PsychicConfig::new(disk, k, costs),
+                &trace.requests,
+            )),
+        ];
+        let mut efficiencies = Vec::new();
+        for p in &mut policies {
+            let r = replayer.replay(&trace, p.as_mut());
+            assert_eq!(r.overall.total_requests() as usize, trace.len());
+            efficiencies.push((r.policy, r.efficiency()));
+        }
+        // Psychic dominates the online caches at every alpha.
+        let by_name = |n: &str| {
+            efficiencies
+                .iter()
+                .find(|(p, _)| *p == n)
+                .map(|(_, e)| *e)
+                .expect("policy ran")
+        };
+        assert!(
+            by_name("psychic") >= by_name("cafe") - 0.02,
+            "alpha={alpha}"
+        );
+        assert!(
+            by_name("psychic") >= by_name("xlru") - 0.02,
+            "alpha={alpha}"
+        );
+        if alpha >= 2.0 {
+            assert!(
+                by_name("cafe") > by_name("xlru"),
+                "alpha={alpha}: cafe must win under ingress constraint"
+            );
+        }
+    }
+}
