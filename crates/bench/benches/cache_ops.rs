@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks: request-handling throughput of each cache
-//! policy on a realistic (tiny-profile) request stream.
+//! Micro-benchmarks: request-handling throughput of each cache policy on a
+//! realistic (tiny-profile) request stream.
+//!
+//! Plain `harness = false` timing mains via [`vcdn_bench::bench_report`] —
+//! the workspace builds offline, so no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use vcdn_bench::Algo;
+use vcdn_bench::{bench_report, Algo};
 use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
 use vcdn_types::{ChunkSize, CostModel, DurationMs};
 
@@ -10,42 +12,27 @@ fn trace() -> Trace {
     TraceGenerator::new(ServerProfile::tiny_test(), 99).generate(DurationMs::from_days(2))
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let trace = trace();
     let k = ChunkSize::DEFAULT;
     let costs = CostModel::from_alpha(2.0).expect("valid alpha");
     let disk = 512;
-    let mut group = c.benchmark_group("handle_request");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    println!("handle_request ({} requests per iter)", trace.len());
     for algo in [Algo::Lru, Algo::Xlru, Algo::Cafe, Algo::Psychic] {
-        group.bench_function(algo.name(), |b| {
-            b.iter_batched(
-                || algo.build(&trace, disk, k, costs),
-                |mut policy| {
-                    for r in &trace.requests {
-                        std::hint::black_box(policy.handle_request(r));
-                    }
-                },
-                BatchSize::LargeInput,
-            );
+        bench_report(&format!("handle_request/{}", algo.name()), 10, || {
+            let mut policy = algo.build(&trace, disk, k, costs);
+            for r in &trace.requests {
+                std::hint::black_box(policy.handle_request(r));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_psychic_oracle_build(c: &mut Criterion) {
-    let trace = trace();
-    let k = ChunkSize::DEFAULT;
     let costs = CostModel::balanced();
-    c.bench_function("psychic_oracle_build", |b| {
-        b.iter(|| {
-            std::hint::black_box(vcdn_core::PsychicCache::new(
-                vcdn_core::PsychicConfig::new(512, k, costs),
-                &trace.requests,
-            ))
-        });
+    bench_report("psychic_oracle_build", 10, || {
+        std::hint::black_box(vcdn_core::PsychicCache::new(
+            vcdn_core::PsychicConfig::new(512, k, costs),
+            &trace.requests,
+        ));
     });
 }
-
-criterion_group!(benches, bench_policies, bench_psychic_oracle_build);
-criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks: the paper's two cache data structures —
-//! xLRU's list+hashmap (O(1) ops) and Cafe's tree+hashmap (O(log n)
-//! insertions).
+//! Micro-benchmarks: the paper's two cache data structures — xLRU's
+//! list+hashmap (O(1) ops) and Cafe's tree+hashmap (O(log n) insertions).
+//!
+//! Plain `harness = false` timing mains via [`vcdn_bench::bench_report`] —
+//! the workspace builds offline, so no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vcdn_bench::bench_report;
 use vcdn_core::ds::{IndexedLruList, KeyedSet};
 use vcdn_types::{ChunkId, Timestamp, VideoId};
 
@@ -12,107 +14,71 @@ fn chunk(i: u64) -> ChunkId {
     ChunkId::new(VideoId(i / 64), (i % 64) as u32)
 }
 
-fn bench_lru_list(c: &mut Criterion) {
-    let mut group = c.benchmark_group("indexed_lru_list");
-    group.throughput(Throughput::Elements(N));
+fn bench_lru_list() {
+    println!("indexed_lru_list ({N} elements per iter)");
 
-    group.bench_function("touch_insert", |b| {
-        b.iter_batched(
-            IndexedLruList::new,
-            |mut l| {
-                for i in 0..N {
-                    l.touch(chunk(i), Timestamp(i));
-                }
-                l
-            },
-            BatchSize::LargeInput,
-        );
-    });
-
-    group.bench_function("touch_move_to_front", |b| {
-        let mut warm = IndexedLruList::new();
+    bench_report("indexed_lru_list/touch_insert", 20, || {
+        let mut l = IndexedLruList::new();
         for i in 0..N {
-            warm.touch(chunk(i), Timestamp(i));
+            l.touch(chunk(i), Timestamp(i));
         }
-        b.iter_batched(
-            || warm.clone(),
-            |mut l| {
-                for i in 0..N {
-                    l.touch(chunk((i * 7919) % N), Timestamp(N + i));
-                }
-                l
-            },
-            BatchSize::LargeInput,
-        );
+        std::hint::black_box(&l);
     });
 
-    group.bench_function("pop_oldest", |b| {
-        let mut warm = IndexedLruList::new();
+    let mut warm = IndexedLruList::new();
+    for i in 0..N {
+        warm.touch(chunk(i), Timestamp(i));
+    }
+    bench_report("indexed_lru_list/touch_move_to_front", 20, || {
+        let mut l = warm.clone();
         for i in 0..N {
-            warm.touch(chunk(i), Timestamp(i));
+            l.touch(chunk((i * 7919) % N), Timestamp(N + i));
         }
-        b.iter_batched(
-            || warm.clone(),
-            |mut l| {
-                while l.pop_oldest().is_some() {}
-                l
-            },
-            BatchSize::LargeInput,
-        );
+        std::hint::black_box(&l);
     });
-    group.finish();
+
+    bench_report("indexed_lru_list/pop_oldest", 20, || {
+        let mut l = warm.clone();
+        while l.pop_oldest().is_some() {}
+        std::hint::black_box(&l);
+    });
 }
 
-fn bench_keyed_set(c: &mut Criterion) {
-    let mut group = c.benchmark_group("keyed_set");
-    group.throughput(Throughput::Elements(N));
+fn bench_keyed_set() {
+    println!("keyed_set ({N} elements per iter)");
 
-    group.bench_function("insert", |b| {
-        b.iter_batched(
-            KeyedSet::new,
-            |mut s| {
-                for i in 0..N {
-                    s.insert(chunk(i), (i as f64 * 0.37) % 1e6);
-                }
-                s
-            },
-            BatchSize::LargeInput,
-        );
-    });
-
-    group.bench_function("rekey", |b| {
-        let mut warm = KeyedSet::new();
+    bench_report("keyed_set/insert", 20, || {
+        let mut s = KeyedSet::new();
         for i in 0..N {
-            warm.insert(chunk(i), i as f64);
+            s.insert(chunk(i), (i as f64 * 0.37) % 1e6);
         }
-        b.iter_batched(
-            || warm.clone(),
-            |mut s| {
-                for i in 0..N {
-                    s.insert(chunk((i * 6151) % N), (N + i) as f64);
-                }
-                s
-            },
-            BatchSize::LargeInput,
-        );
+        std::hint::black_box(&s);
     });
 
-    group.bench_function("pop_smallest", |b| {
-        let mut warm = KeyedSet::new();
+    let mut warm = KeyedSet::new();
+    for i in 0..N {
+        warm.insert(chunk(i), i as f64);
+    }
+    bench_report("keyed_set/rekey", 20, || {
+        let mut s = warm.clone();
         for i in 0..N {
-            warm.insert(chunk(i), (i as f64 * 0.61) % 1e6);
+            s.insert(chunk((i * 6151) % N), (N + i) as f64);
         }
-        b.iter_batched(
-            || warm.clone(),
-            |mut s| {
-                while s.pop_smallest().is_some() {}
-                s
-            },
-            BatchSize::LargeInput,
-        );
+        std::hint::black_box(&s);
     });
-    group.finish();
+
+    let mut warm = KeyedSet::new();
+    for i in 0..N {
+        warm.insert(chunk(i), (i as f64 * 0.61) % 1e6);
+    }
+    bench_report("keyed_set/pop_smallest", 20, || {
+        let mut s = warm.clone();
+        while s.pop_smallest().is_some() {}
+        std::hint::black_box(&s);
+    });
 }
 
-criterion_group!(benches, bench_lru_list, bench_keyed_set);
-criterion_main!(benches);
+fn main() {
+    bench_lru_list();
+    bench_keyed_set();
+}

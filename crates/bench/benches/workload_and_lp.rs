@@ -1,25 +1,26 @@
-//! Criterion micro-benchmarks: trace generation throughput and simplex
-//! solve times on Optimal-cache instances.
+//! Micro-benchmarks: trace generation throughput and simplex solve times
+//! on Optimal-cache instances.
+//!
+//! Plain `harness = false` timing mains via [`vcdn_bench::bench_report`] —
+//! the workspace builds offline, so no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vcdn_bench::bench_report;
 use vcdn_core::{lp_bound_paper, lp_bound_reduced, CacheConfig};
 use vcdn_trace::{downsample, DownsampleConfig, ServerProfile, TraceGenerator};
 use vcdn_types::{ChunkSize, CostModel, DurationMs, Timestamp};
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
+fn bench_trace_generation() {
     for hours in [6u64, 24] {
         let gen = TraceGenerator::new(ServerProfile::tiny_test(), 5);
-        let n = gen.generate(DurationMs::from_hours(hours)).len() as u64;
-        group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::new("tiny_test", hours), &hours, |b, &h| {
-            b.iter(|| std::hint::black_box(gen.generate(DurationMs::from_hours(h))));
+        let n = gen.generate(DurationMs::from_hours(hours)).len();
+        println!("trace_generation/tiny_test_{hours}h ({n} requests per iter)");
+        bench_report(&format!("trace_generation/tiny_test_{hours}h"), 10, || {
+            std::hint::black_box(gen.generate(DurationMs::from_hours(hours)));
         });
     }
-    group.finish();
 }
 
-fn bench_lp_solves(c: &mut Criterion) {
+fn bench_lp_solves() {
     // A fixed downsampled instance, solved by both formulations.
     let full =
         TraceGenerator::new(ServerProfile::tiny_test(), 13).generate(DurationMs::from_days(1));
@@ -32,16 +33,15 @@ fn bench_lp_solves(c: &mut Criterion) {
     let k = ChunkSize::new(4 * 1024 * 1024).expect("non-zero");
     let cache = CacheConfig::new(8, k, CostModel::from_alpha(2.0).expect("valid alpha"));
 
-    let mut group = c.benchmark_group("optimal_lp");
-    group.sample_size(10);
-    group.bench_function("paper_formulation_40req", |b| {
-        b.iter(|| lp_bound_paper(&trace.requests, &cache).expect("solves"));
+    bench_report("optimal_lp/paper_formulation_40req", 10, || {
+        std::hint::black_box(lp_bound_paper(&trace.requests, &cache).expect("solves"));
     });
-    group.bench_function("reduced_formulation_40req", |b| {
-        b.iter(|| lp_bound_reduced(&trace.requests, &cache).expect("solves"));
+    bench_report("optimal_lp/reduced_formulation_40req", 10, || {
+        std::hint::black_box(lp_bound_reduced(&trace.requests, &cache).expect("solves"));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_trace_generation, bench_lp_solves);
-criterion_main!(benches);
+fn main() {
+    bench_trace_generation();
+    bench_lp_solves();
+}

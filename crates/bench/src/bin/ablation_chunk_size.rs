@@ -5,10 +5,14 @@
 //! chunks track intra-file popularity more precisely but multiply
 //! metadata; large chunks over-fetch partially requested data.
 //!
+//! The K × algorithm grid (12 cells) runs through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_chunk_size [--scale f] [--days n] [--alpha a]`
 
-use vcdn_bench::{arg_days, arg_flag, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, arg_flag, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{eff, Table};
+use vcdn_sim::runner::Cell;
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -20,20 +24,36 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("ablation A5: {} requests", trace.len());
 
+    let mbs = [1u64, 2, 4, 8];
+    let ks: Vec<ChunkSize> = mbs
+        .iter()
+        .map(|mb| ChunkSize::new(mb * 1024 * 1024).expect("non-zero"))
+        .collect();
+    let cells: Vec<Cell<f64>> = mbs
+        .iter()
+        .zip(&ks)
+        .flat_map(|(&mb, &k)| {
+            let trace = &trace;
+            let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+            Algo::paper_three().into_iter().map(move |algo| {
+                Cell::new(format!("K={mb}MiB {}", algo.name()), move || {
+                    run_algo(algo, trace, disk, k, costs).efficiency()
+                })
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("ablation A5", cells).values();
+
     let mut table = Table::new(vec!["K", "disk chunks", "xlru", "cafe", "psychic"]);
-    for mb in [1u64, 2, 4, 8] {
-        let k = ChunkSize::new(mb * 1024 * 1024).expect("non-zero");
-        let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
-        let reports = run_paper_three(&trace, disk, k, costs);
-        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+    for (i, (&mb, &k)) in mbs.iter().zip(&ks).enumerate() {
+        let g = &e[i * 3..i * 3 + 3];
         table.row(vec![
             format!("{mb}MiB{}", if mb == 2 { " (paper)" } else { "" }),
-            disk.to_string(),
-            eff(e[0]),
-            eff(e[1]),
-            eff(e[2]),
+            scale.disk_chunks(PAPER_DISK_BYTES, k).to_string(),
+            eff(g[0]),
+            eff(g[1]),
+            eff(g[2]),
         ]);
-        eprintln!("  K={mb}MiB done");
     }
     println!("== Ablation A5: chunk size sweep (europe, alpha={alpha}, constant disk bytes) ==");
     println!("{}", table.render());

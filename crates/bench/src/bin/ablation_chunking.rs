@@ -13,11 +13,15 @@
 //! chunks pay a small bounded *internal* round-up waste and can never
 //! fragment externally — the paper's §4 choice.
 //!
+//! The two storage layouts run as one grid through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_chunking [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, sweep, trace_for, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::diskalloc::{AllocError, SegmentAllocator};
 use vcdn_sim::report::{bytes, Table};
+use vcdn_sim::runner::Cell;
 use vcdn_trace::ServerProfile;
 use vcdn_types::ChunkSize;
 
@@ -101,10 +105,13 @@ fn main() {
         bytes(capacity)
     );
 
-    let variable = churn(&trace, capacity, None);
-    eprintln!("  variable-size done");
-    let chunked = churn(&trace, capacity, Some(k.bytes()));
-    eprintln!("  chunked done");
+    let cells = vec![
+        Cell::new("variable-size segments", || churn(&trace, capacity, None)),
+        Cell::new("fixed chunks", || churn(&trace, capacity, Some(k.bytes()))),
+    ];
+    let mut stats = sweep("ablation A10", cells).values();
+    let chunked = stats.pop().expect("two cells");
+    let variable = stats.pop().expect("two cells");
 
     let mut table = Table::new(vec![
         "storage layout",

@@ -4,12 +4,16 @@
 //! sensitivity: small γ reacts slowly to popularity shifts, large γ
 //! overreacts to transient gaps.
 //!
+//! One grid cell per γ runs through the deterministic parallel runner;
+//! set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_gamma [--scale f] [--days n] [--alpha a]`
 
-use vcdn_bench::{arg_days, arg_flag, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, arg_flag, sweep, trace_for, Scale, PAPER_DISK_BYTES};
 use vcdn_core::{CafeCache, CafeConfig};
 use vcdn_sim::report::{eff, Table};
-use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_sim::runner::Cell;
+use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -23,10 +27,21 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("ablation A2: {} requests, disk={disk}", trace.len());
 
+    let gammas = [0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
+    let cells: Vec<Cell<ReplayReport>> = gammas
+        .iter()
+        .map(|&gamma| {
+            let trace = &trace;
+            Cell::new(format!("gamma={gamma}"), move || {
+                let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_gamma(gamma));
+                Replayer::new(ReplayConfig::new(k, costs)).replay(trace, &mut cache)
+            })
+        })
+        .collect();
+    let reports: Vec<ReplayReport> = sweep("ablation A2", cells).values();
+
     let mut table = Table::new(vec!["gamma", "efficiency", "ingress%", "redirect%"]);
-    for gamma in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
-        let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_gamma(gamma));
-        let r = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+    for (gamma, r) in gammas.iter().zip(&reports) {
         table.row(vec![
             format!(
                 "{gamma}{}",
@@ -40,7 +55,6 @@ fn main() {
             format!("{:.1}", r.ingress_pct()),
             format!("{:.1}", r.redirect_pct()),
         ]);
-        eprintln!("  gamma={gamma} done");
     }
     println!("== Ablation A2: Cafe EWMA gamma sweep (europe, alpha={alpha}) ==");
     println!("{}", table.render());

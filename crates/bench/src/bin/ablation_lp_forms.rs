@@ -6,19 +6,58 @@
 //! traces that both reach the same optimum and reports the size/time
 //! advantage that makes the Figure 2 experiment tractable.
 //!
+//! The (prefix length × α × formulation) grid runs through the
+//! deterministic parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_lp_forms [--requests n]`
 
 use std::time::Instant;
 
-use vcdn_bench::{arg_flag, EXPERIMENT_SEED};
-use vcdn_core::{lp_bound_paper, lp_bound_reduced, CacheConfig};
+use vcdn_bench::{arg_flag, sweep, EXPERIMENT_SEED};
+use vcdn_core::{lp_bound_paper, lp_bound_reduced, CacheConfig, OptimalBound};
+use vcdn_lp::SolveError;
 use vcdn_sim::report::Table;
+use vcdn_sim::runner::Cell;
 use vcdn_trace::{downsample, DownsampleConfig, ServerProfile, TraceGenerator};
 use vcdn_types::{ChunkSize, CostModel, DurationMs, Timestamp};
 
 fn main() {
     let max_requests: usize = arg_flag("requests").unwrap_or(30);
     let k = ChunkSize::new(4 * 1024 * 1024).expect("non-zero");
+    let profile = ServerProfile::tiny_test();
+    let full = TraceGenerator::new(profile, EXPERIMENT_SEED).generate(DurationMs::from_days(2));
+    let cfg_ds = DownsampleConfig {
+        files: 30,
+        ..DownsampleConfig::paper_default(Timestamp::EPOCH)
+    };
+    let mut trace = downsample(&full, &cfg_ds);
+    trace.requests.truncate(max_requests);
+    eprintln!("A6 trace: {} requests", trace.len());
+
+    let ns = [10usize, 20, max_requests];
+    let alphas = [1.0, 2.0];
+    type Solver = fn(&[vcdn_types::Request], &CacheConfig) -> Result<OptimalBound, SolveError>;
+    let solvers: [(&str, Solver); 2] = [("paper", lp_bound_paper), ("reduced", lp_bound_reduced)];
+    let cells: Vec<Cell<(OptimalBound, u128)>> = ns
+        .iter()
+        .flat_map(|&n| {
+            let trace = &trace;
+            alphas.iter().flat_map(move |&alpha| {
+                solvers.into_iter().map(move |(tag, solve)| {
+                    Cell::new(format!("n={n} alpha={alpha} {tag}"), move || {
+                        let reqs = &trace.requests[..n.min(trace.len())];
+                        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                        let cache = CacheConfig::new(8, k, costs);
+                        let t0 = Instant::now();
+                        let bound = solve(reqs, &cache).expect("LP should solve");
+                        (bound, t0.elapsed().as_millis())
+                    })
+                })
+            })
+        })
+        .collect();
+    let solved: Vec<(OptimalBound, u128)> = sweep("ablation A6", cells).values();
+
     let mut table = Table::new(vec![
         "requests",
         "alpha",
@@ -30,27 +69,11 @@ fn main() {
         "reduced ms",
         "agree",
     ]);
-    let profile = ServerProfile::tiny_test();
-    let full = TraceGenerator::new(profile, EXPERIMENT_SEED).generate(DurationMs::from_days(2));
-    let cfg_ds = DownsampleConfig {
-        files: 30,
-        ..DownsampleConfig::paper_default(Timestamp::EPOCH)
-    };
-    let mut trace = downsample(&full, &cfg_ds);
-    trace.requests.truncate(max_requests);
-    eprintln!("A6 trace: {} requests", trace.len());
-
-    for n in [10usize, 20, max_requests] {
-        let reqs = &trace.requests[..n.min(trace.len())];
-        for alpha in [1.0, 2.0] {
-            let costs = CostModel::from_alpha(alpha).expect("valid alpha");
-            let cache = CacheConfig::new(8, k, costs);
-            let t0 = Instant::now();
-            let paper = lp_bound_paper(reqs, &cache).expect("paper LP should solve");
-            let t_paper = t0.elapsed().as_millis();
-            let t0 = Instant::now();
-            let reduced = lp_bound_reduced(reqs, &cache).expect("reduced LP should solve");
-            let t_reduced = t0.elapsed().as_millis();
+    let mut it = solved.into_iter();
+    for n in ns {
+        for alpha in alphas {
+            let (paper, t_paper) = it.next().expect("paper cell");
+            let (reduced, t_reduced) = it.next().expect("reduced cell");
             let agree = (paper.lp_cost - reduced.lp_cost).abs() < 1e-5;
             table.row(vec![
                 n.to_string(),
@@ -67,7 +90,6 @@ fn main() {
                     "NO".to_string()
                 },
             ]);
-            eprintln!("  n={n} alpha={alpha} done (agree={agree})");
         }
     }
     println!("== Ablation A6: paper vs reduced LP formulation ==");

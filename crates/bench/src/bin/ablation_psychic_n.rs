@@ -4,12 +4,16 @@
 //! proven sufficient in our experiments — no gain with higher values".
 //! This sweep verifies the knee.
 //!
+//! One grid cell per `N` runs through the deterministic parallel runner;
+//! set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_psychic_n [--scale f] [--days n] [--alpha a]`
 
-use vcdn_bench::{arg_days, arg_flag, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, arg_flag, sweep, trace_for, Scale, PAPER_DISK_BYTES};
 use vcdn_core::{PsychicCache, PsychicConfig};
 use vcdn_sim::report::{eff, Table};
-use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_sim::runner::Cell;
+use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -23,20 +27,30 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("ablation A3: {} requests, disk={disk}", trace.len());
 
+    let ns = [1usize, 2, 5, 10, 20, 50];
+    let cells: Vec<Cell<ReplayReport>> = ns
+        .iter()
+        .map(|&n| {
+            let trace = &trace;
+            Cell::new(format!("N={n}"), move || {
+                let mut cache = PsychicCache::new(
+                    PsychicConfig::new(disk, k, costs).with_future_list_bound(n),
+                    &trace.requests,
+                );
+                Replayer::new(ReplayConfig::new(k, costs)).replay(trace, &mut cache)
+            })
+        })
+        .collect();
+    let reports: Vec<ReplayReport> = sweep("ablation A3", cells).values();
+
     let mut table = Table::new(vec!["N", "efficiency", "ingress%", "redirect%"]);
-    for n in [1usize, 2, 5, 10, 20, 50] {
-        let mut cache = PsychicCache::new(
-            PsychicConfig::new(disk, k, costs).with_future_list_bound(n),
-            &trace.requests,
-        );
-        let r = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+    for (n, r) in ns.iter().zip(&reports) {
         table.row(vec![
-            format!("{n}{}", if n == 10 { " (paper)" } else { "" }),
+            format!("{n}{}", if *n == 10 { " (paper)" } else { "" }),
             eff(r.efficiency()),
             format!("{:.1}", r.ingress_pct()),
             format!("{:.1}", r.redirect_pct()),
         ]);
-        eprintln!("  N={n} done");
     }
     println!("== Ablation A3: Psychic future-list bound N (europe, alpha={alpha}) ==");
     println!("{}", table.render());

@@ -7,11 +7,16 @@
 //! models: raising α should monotonically reduce read-capacity loss and
 //! wasted saturated-hour fill.
 //!
+//! One grid cell per α runs through the deterministic parallel runner
+//! (after a sequential probe that calibrates the egress capacity); set
+//! `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_resource_models [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, run_algo, trace_for, Algo, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{bytes, eff, Table};
-use vcdn_sim::{DiskIoModel, EgressModel};
+use vcdn_sim::runner::Cell;
+use vcdn_sim::{DiskIoModel, EgressModel, ReplayReport};
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -37,6 +42,19 @@ fn main() {
     };
     let io = DiskIoModel::paper_default();
 
+    let alphas = [0.5, 1.0, 2.0, 4.0];
+    let cells: Vec<Cell<ReplayReport>> = alphas
+        .iter()
+        .map(|&alpha| {
+            let trace = &trace;
+            let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+            Cell::new(format!("alpha={alpha} cafe"), move || {
+                run_algo(Algo::Cafe, trace, disk, k, costs)
+            })
+        })
+        .collect();
+    let reports: Vec<ReplayReport> = sweep("ablation A7", cells).values();
+
     let mut table = Table::new(vec![
         "alpha",
         "efficiency",
@@ -45,10 +63,8 @@ fn main() {
         "saturated hours",
         "wasted fill (saturated)",
     ]);
-    for alpha in [0.5, 1.0, 2.0, 4.0] {
-        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
-        let r = run_algo(Algo::Cafe, &trace, disk, k, costs);
-        let sat = egress.summarize(&r);
+    for (alpha, r) in alphas.iter().zip(&reports) {
+        let sat = egress.summarize(r);
         table.row(vec![
             format!("{alpha}"),
             eff(r.efficiency()),
@@ -57,7 +73,6 @@ fn main() {
             format!("{}/{}", sat.saturated_windows, sat.active_windows),
             bytes(sat.wasted_fill_bytes),
         ]);
-        eprintln!("  alpha={alpha} done");
     }
     println!("== Ablation A7: resource pressure vs alpha (cafe, europe) ==");
     println!("{}", table.render());

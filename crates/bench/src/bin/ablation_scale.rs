@@ -7,11 +7,16 @@
 //! scale factors. This ablation runs the Figure 3 configuration at
 //! 1/64, 1/32, 1/16 and (with `--full`) 1/8 scale.
 //!
+//! Two grids run through the deterministic parallel runner: one cell per
+//! scale factor to generate its trace, then one cell per (scale,
+//! algorithm) replay. Set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_scale [--days n] [--full]`
 
-use vcdn_bench::{arg_days, arg_switch, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, arg_switch, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{eff, Table};
-use vcdn_trace::ServerProfile;
+use vcdn_sim::runner::Cell;
+use vcdn_trace::{ServerProfile, Trace};
 use vcdn_types::{ChunkSize, CostModel};
 
 fn main() {
@@ -23,6 +28,31 @@ fn main() {
         scales.push(1.0 / 8.0);
     }
 
+    let trace_cells: Vec<Cell<Trace>> = scales
+        .iter()
+        .map(|&s| {
+            Cell::new(format!("trace scale 1/{:.0}", 1.0 / s), move || {
+                trace_for(ServerProfile::europe(), Scale(s), days)
+            })
+        })
+        .collect();
+    let traces: Vec<Trace> = sweep("ablation A8 traces", trace_cells).values();
+
+    let cells: Vec<Cell<f64>> = scales
+        .iter()
+        .zip(&traces)
+        .flat_map(|(&s, trace)| {
+            let disk = Scale(s).disk_chunks(PAPER_DISK_BYTES, k);
+            Algo::paper_three().into_iter().map(move |algo| {
+                Cell::new(
+                    format!("scale 1/{:.0} {}", 1.0 / s, algo.name()),
+                    move || run_algo(algo, trace, disk, k, costs).efficiency(),
+                )
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("ablation A8 replay", cells).values();
+
     let mut table = Table::new(vec![
         "scale",
         "requests",
@@ -32,22 +62,17 @@ fn main() {
         "psychic",
         "cafe - xlru",
     ]);
-    for s in scales {
-        let scale = Scale(s);
-        let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
-        let trace = trace_for(ServerProfile::europe(), scale, days);
-        let reports = run_paper_three(&trace, disk, k, costs);
-        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+    for (i, (&s, trace)) in scales.iter().zip(&traces).enumerate() {
+        let g = &e[i * 3..i * 3 + 3];
         table.row(vec![
             format!("1/{:.0}", 1.0 / s),
             trace.len().to_string(),
-            disk.to_string(),
-            eff(e[0]),
-            eff(e[1]),
-            eff(e[2]),
-            format!("{:+.3}", e[1] - e[0]),
+            Scale(s).disk_chunks(PAPER_DISK_BYTES, k).to_string(),
+            eff(g[0]),
+            eff(g[1]),
+            eff(g[2]),
+            format!("{:+.3}", g[1] - g[0]),
         ]);
-        eprintln!("  scale 1/{:.0} done ({} requests)", 1.0 / s, trace.len());
     }
     println!("== Ablation A8: result stability across scale factors (europe, alpha=2) ==");
     println!("{}", table.render());

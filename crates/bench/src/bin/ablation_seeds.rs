@@ -5,11 +5,16 @@
 //! under several seeds and reports the per-seed efficiencies plus the
 //! spread of the Cafe-over-xLRU gap.
 //!
+//! Two grids run through the deterministic parallel runner: one cell per
+//! seed to generate its trace, then one cell per (seed, algorithm)
+//! replay. Set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_seeds [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, run_paper_three, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, run_algo, sweep, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{eff, Table};
-use vcdn_trace::{ServerProfile, TraceGenerator};
+use vcdn_sim::runner::Cell;
+use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
 use vcdn_types::{ChunkSize, CostModel, DurationMs};
 
 fn main() {
@@ -20,23 +25,43 @@ fn main() {
     let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
 
     let seeds = [20140413u64, 1, 7, 1234567, 987654321];
+    let trace_cells: Vec<Cell<Trace>> = seeds
+        .iter()
+        .map(|&seed| {
+            Cell::new(format!("trace seed={seed}"), move || {
+                TraceGenerator::new(scale.profile(ServerProfile::europe()), seed)
+                    .generate(DurationMs::from_days(days))
+            })
+        })
+        .collect();
+    let traces: Vec<Trace> = sweep("ablation A9 traces", trace_cells).values();
+
+    let cells: Vec<Cell<f64>> = seeds
+        .iter()
+        .zip(&traces)
+        .flat_map(|(&seed, trace)| {
+            Algo::paper_three().into_iter().map(move |algo| {
+                Cell::new(format!("seed={seed} {}", algo.name()), move || {
+                    run_algo(algo, trace, disk, k, costs).efficiency()
+                })
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("ablation A9 replay", cells).values();
+
     let mut table = Table::new(vec!["seed", "requests", "xlru", "cafe", "psychic", "gap"]);
     let mut gaps = Vec::new();
-    for seed in seeds {
-        let trace = TraceGenerator::new(scale.profile(ServerProfile::europe()), seed)
-            .generate(DurationMs::from_days(days));
-        let reports = run_paper_three(&trace, disk, k, costs);
-        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
-        gaps.push(e[1] - e[0]);
+    for (i, (seed, trace)) in seeds.iter().zip(&traces).enumerate() {
+        let g = &e[i * 3..i * 3 + 3];
+        gaps.push(g[1] - g[0]);
         table.row(vec![
             seed.to_string(),
             trace.len().to_string(),
-            eff(e[0]),
-            eff(e[1]),
-            eff(e[2]),
-            format!("{:+.3}", e[1] - e[0]),
+            eff(g[0]),
+            eff(g[1]),
+            eff(g[2]),
+            format!("{:+.3}", g[1] - g[0]),
         ]);
-        eprintln!("  seed {seed} done");
     }
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let spread = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)

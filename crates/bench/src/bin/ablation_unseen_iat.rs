@@ -5,11 +5,15 @@
 //! This ablation toggles the optimisation on the Figure 4 setup to show
 //! what it buys.
 //!
+//! The α × {on, off} grid (4 cells) runs through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_unseen_iat [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, sweep, trace_for, Scale, PAPER_DISK_BYTES};
 use vcdn_core::{CafeCache, CafeConfig};
 use vcdn_sim::report::{eff, Table};
+use vcdn_sim::runner::Cell;
 use vcdn_sim::{ReplayConfig, Replayer};
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
@@ -22,27 +26,41 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("ablation A4: {} requests, disk={disk}", trace.len());
 
+    let alphas = [1.0, 2.0];
+    let cells: Vec<Cell<f64>> = alphas
+        .iter()
+        .flat_map(|&alpha| {
+            let trace = &trace;
+            [true, false].into_iter().map(move |estimate| {
+                let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                let tag = if estimate { "on" } else { "off" };
+                Cell::new(format!("alpha={alpha} estimate {tag}"), move || {
+                    let mut cache = CafeCache::new(
+                        CafeConfig::new(disk, k, costs).with_unseen_chunk_estimate(estimate),
+                    );
+                    Replayer::new(ReplayConfig::new(k, costs))
+                        .replay(trace, &mut cache)
+                        .efficiency()
+                })
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("ablation A4", cells).values();
+
     let mut table = Table::new(vec![
         "alpha",
         "estimate ON (paper)",
         "estimate OFF",
         "delta",
     ]);
-    for alpha in [1.0, 2.0] {
-        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
-        let mut on = CafeCache::new(CafeConfig::new(disk, k, costs));
-        let mut off =
-            CafeCache::new(CafeConfig::new(disk, k, costs).with_unseen_chunk_estimate(false));
-        let replayer = Replayer::new(ReplayConfig::new(k, costs));
-        let r_on = replayer.replay(&trace, &mut on);
-        let r_off = replayer.replay(&trace, &mut off);
+    for (i, alpha) in alphas.iter().enumerate() {
+        let (on, off) = (e[i * 2], e[i * 2 + 1]);
         table.row(vec![
             format!("{alpha}"),
-            eff(r_on.efficiency()),
-            eff(r_off.efficiency()),
-            format!("{:+.3}", r_on.efficiency() - r_off.efficiency()),
+            eff(on),
+            eff(off),
+            format!("{:+.3}", on - off),
         ]);
-        eprintln!("  alpha={alpha} done");
     }
     println!("== Ablation A4: Cafe unseen-chunk IAT estimate (europe) ==");
     println!("{}", table.render());

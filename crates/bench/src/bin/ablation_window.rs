@@ -5,12 +5,16 @@
 //! compares that choice against fixed windows on the Figure 3 setup
 //! (Europe, 1 TB-scaled, α = 2).
 //!
+//! One grid cell per window variant runs through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ablation_window [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, sweep, trace_for, Scale, PAPER_DISK_BYTES};
 use vcdn_core::{CafeCache, CafeConfig, WindowPolicy};
 use vcdn_sim::report::{eff, Table};
-use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_sim::runner::Cell;
+use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel, DurationMs};
 
@@ -42,17 +46,27 @@ fn main() {
             WindowPolicy::Fixed(DurationMs::from_hours(72)),
         ),
     ];
+    let cells: Vec<Cell<ReplayReport>> = variants
+        .iter()
+        .map(|(name, window)| {
+            let trace = &trace;
+            let window = *window;
+            Cell::new(name.clone(), move || {
+                let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_window(window));
+                Replayer::new(ReplayConfig::new(k, costs)).replay(trace, &mut cache)
+            })
+        })
+        .collect();
+    let reports: Vec<ReplayReport> = sweep("ablation A1", cells).values();
+
     let mut table = Table::new(vec!["window", "efficiency", "ingress%", "redirect%"]);
-    for (name, window) in variants {
-        let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_window(window));
-        let r = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+    for ((name, _), r) in variants.iter().zip(&reports) {
         table.row(vec![
             name.clone(),
             eff(r.efficiency()),
             format!("{:.1}", r.ingress_pct()),
             format!("{:.1}", r.redirect_pct()),
         ]);
-        eprintln!("  {name} done");
     }
     println!("== Ablation A1: Cafe look-ahead window T (europe, alpha=2) ==");
     println!("{}", table.render());

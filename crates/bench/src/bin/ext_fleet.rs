@@ -7,12 +7,17 @@
 //! for the paper's §10 "adjust traffic between any group of
 //! constrained/non-constrained servers".
 //!
+//! The three per-edge traces are generated in parallel through the
+//! deterministic grid runner (the fleet replay itself shares one parent
+//! cache and stays sequential); set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `ext_fleet [--scale f] [--days n] [--edge-alpha a]`
 
-use vcdn_bench::{arg_days, arg_flag, Scale, EXPERIMENT_SEED, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, arg_flag, sweep, Scale, EXPERIMENT_SEED, PAPER_DISK_BYTES};
 use vcdn_core::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
 use vcdn_sim::replay_fleet;
 use vcdn_sim::report::{bytes, Table};
+use vcdn_sim::runner::Cell;
 use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
 use vcdn_types::{ChunkSize, CostModel, DurationMs};
 
@@ -29,13 +34,17 @@ fn main() {
         ServerProfile::asia(),
         ServerProfile::north_america(),
     ];
-    let traces: Vec<Trace> = profiles
+    let trace_cells: Vec<Cell<Trace>> = profiles
         .iter()
         .map(|p| {
-            TraceGenerator::new(scale.profile(p.clone()), EXPERIMENT_SEED)
-                .generate(DurationMs::from_days(days))
+            let p = p.clone();
+            Cell::new(format!("trace {}", p.name), move || {
+                TraceGenerator::new(scale.profile(p), EXPERIMENT_SEED)
+                    .generate(DurationMs::from_days(days))
+            })
         })
         .collect();
+    let traces: Vec<Trace> = sweep("ext E4 traces", trace_cells).values();
     eprintln!(
         "ext E4: {} edges, {} total requests, edge={edge_disk} parent={parent_disk} chunks",
         traces.len(),

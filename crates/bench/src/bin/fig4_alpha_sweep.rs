@@ -7,10 +7,14 @@
 //! Psychic remains because xLRU and Cafe intentionally never fill a file
 //! on its first-ever request.
 //!
+//! The whole α × algorithm grid (12 cells) runs through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `fig4_alpha_sweep [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{eff, Table};
+use vcdn_sim::runner::Cell;
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -27,19 +31,31 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("trace: {} requests", trace.len());
 
+    let alphas = [0.5, 1.0, 2.0, 4.0];
+    let cells: Vec<Cell<f64>> = alphas
+        .iter()
+        .flat_map(|&alpha| {
+            let trace = &trace;
+            Algo::paper_three().into_iter().map(move |algo| {
+                let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                Cell::new(format!("alpha={alpha} {}", algo.name()), move || {
+                    run_algo(algo, trace, disk, k, costs).efficiency()
+                })
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("fig4", cells).values();
+
     let mut table = Table::new(vec!["alpha", "xlru", "cafe", "psychic", "cafe - xlru"]);
-    for alpha in [0.5, 1.0, 2.0, 4.0] {
-        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
-        let reports = run_paper_three(&trace, disk, k, costs);
-        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+    for (i, alpha) in alphas.iter().enumerate() {
+        let g = &e[i * 3..i * 3 + 3];
         table.row(vec![
             format!("{alpha}"),
-            eff(e[0]),
-            eff(e[1]),
-            eff(e[2]),
-            format!("{:+.3}", e[1] - e[0]),
+            eff(g[0]),
+            eff(g[1]),
+            eff(g[2]),
+            format!("{:+.3}", g[1] - g[0]),
         ]);
-        eprintln!("  alpha={alpha} done");
     }
     println!("== Figure 4: efficiency vs alpha_F2R (europe, 1 TB-scaled) ==");
     println!("{}", table.render());

@@ -8,10 +8,15 @@
 //! at α=4, while Cafe and Psychic "closely comply with the given costs
 //! and shrink the ingress to only a few percent".
 //!
+//! The whole α × algorithm grid (12 cells) runs through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `fig5_operating_points [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::Table;
+use vcdn_sim::runner::Cell;
+use vcdn_sim::ReplayReport;
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -28,22 +33,34 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("trace: {} requests", trace.len());
 
+    // Paper order: points from left (costly ingress) to right (cheap).
+    let alphas = [4.0, 2.0, 1.0, 0.5];
+    let cells: Vec<Cell<ReplayReport>> = alphas
+        .iter()
+        .flat_map(|&alpha| {
+            let trace = &trace;
+            Algo::paper_three().into_iter().map(move |algo| {
+                let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                Cell::new(format!("alpha={alpha} {}", algo.name()), move || {
+                    run_algo(algo, trace, disk, k, costs)
+                })
+            })
+        })
+        .collect();
+    let reports: Vec<ReplayReport> = sweep("fig5", cells).values();
+
     let mut table = Table::new(vec![
         "alpha",
         "xlru (ing%, red%)",
         "cafe (ing%, red%)",
         "psychic (ing%, red%)",
     ]);
-    // Paper order: points from left (costly ingress) to right (cheap).
-    for alpha in [4.0, 2.0, 1.0, 0.5] {
-        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
-        let reports = run_paper_three(&trace, disk, k, costs);
+    for (i, alpha) in alphas.iter().enumerate() {
         let mut row = vec![format!("{alpha}")];
-        for r in &reports {
+        for r in &reports[i * 3..i * 3 + 3] {
             row.push(format!("({:.1}, {:.1})", r.ingress_pct(), r.redirect_pct()));
         }
         table.row(row);
-        eprintln!("  alpha={alpha} done");
     }
     println!("== Figure 5: operating points (ingress% vs redirect%) ==");
     println!("{}", table.render());

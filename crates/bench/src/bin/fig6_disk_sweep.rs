@@ -7,10 +7,14 @@
 //! same efficiency xLRU requires 2 to 3 times larger disk space than Cafe
 //! Cache" at α=2 (and only ≤33 % more at α=1 — printed with `--alpha 1`).
 //!
+//! The whole disk × algorithm grid (15 cells) runs through the
+//! deterministic parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `fig6_disk_sweep [--scale f] [--days n] [--alpha a]`
 
-use vcdn_bench::{arg_days, arg_flag, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, arg_flag, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{eff, Table};
+use vcdn_sim::runner::Cell;
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
 
@@ -41,23 +45,38 @@ fn main() {
     eprintln!("trace: {} requests", trace.len());
 
     let multiples = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let disks: Vec<u64> = multiples
+        .iter()
+        .map(|&m| scale.disk_chunks((PAPER_DISK_BYTES as f64 * m) as u64, k))
+        .collect();
+    let cells: Vec<Cell<f64>> = multiples
+        .iter()
+        .zip(&disks)
+        .flat_map(|(&m, &disk)| {
+            let trace = &trace;
+            Algo::paper_three().into_iter().map(move |algo| {
+                Cell::new(format!("disk x{m} {}", algo.name()), move || {
+                    run_algo(algo, trace, disk, k, costs).efficiency()
+                })
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("fig6", cells).values();
+
     let mut table = Table::new(vec!["disk (x 1TB)", "chunks", "xlru", "cafe", "psychic"]);
     let mut xlru_pts = Vec::new();
     let mut cafe_pts = Vec::new();
-    for m in multiples {
-        let disk = scale.disk_chunks((PAPER_DISK_BYTES as f64 * m) as u64, k);
-        let reports = run_paper_three(&trace, disk, k, costs);
-        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
-        xlru_pts.push((m, e[0]));
-        cafe_pts.push((m, e[1]));
+    for (i, (&m, &disk)) in multiples.iter().zip(&disks).enumerate() {
+        let g = &e[i * 3..i * 3 + 3];
+        xlru_pts.push((m, g[0]));
+        cafe_pts.push((m, g[1]));
         table.row(vec![
             format!("{m}"),
             disk.to_string(),
-            eff(e[0]),
-            eff(e[1]),
-            eff(e[2]),
+            eff(g[0]),
+            eff(g[1]),
+            eff(g[2]),
         ]);
-        eprintln!("  disk x{m} done");
     }
     println!("== Figure 6: efficiency vs disk capacity (alpha={alpha}) ==");
     println!("{}", table.render());

@@ -8,11 +8,16 @@
 //! (S. America); and "a wider gap between xLRU and the other two
 //! algorithms for busier servers".
 //!
+//! Two grids run through the deterministic parallel runner: one cell per
+//! server to generate its trace, then one cell per (server, algorithm)
+//! replay (18 cells). Set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `fig7_world_servers [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, run_paper_three, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, run_algo, sweep, trace_for, Algo, Scale, PAPER_DISK_BYTES};
 use vcdn_sim::report::{eff, Table};
-use vcdn_trace::ServerProfile;
+use vcdn_sim::runner::Cell;
+use vcdn_trace::{ServerProfile, Trace};
 use vcdn_types::{ChunkSize, CostModel};
 
 fn main() {
@@ -26,6 +31,30 @@ fn main() {
         "fig7: six servers, {days} days, alpha=2 (scale {})",
         scale.0
     );
+
+    let trace_cells: Vec<Cell<(String, Trace)>> = ServerProfile::world_servers()
+        .into_iter()
+        .map(|profile| {
+            let name = profile.name.clone();
+            Cell::new(format!("trace {name}"), move || {
+                (name.clone(), trace_for(profile, scale, days))
+            })
+        })
+        .collect();
+    let traces: Vec<(String, Trace)> = sweep("fig7 traces", trace_cells).values();
+
+    let cells: Vec<Cell<f64>> = traces
+        .iter()
+        .flat_map(|(name, trace)| {
+            Algo::paper_three().into_iter().map(move |algo| {
+                Cell::new(format!("{name} {}", algo.name()), move || {
+                    run_algo(algo, trace, disk, k, costs).efficiency()
+                })
+            })
+        })
+        .collect();
+    let e: Vec<f64> = sweep("fig7 replay", cells).values();
+
     let mut table = Table::new(vec![
         "server",
         "requests",
@@ -34,21 +63,16 @@ fn main() {
         "psychic",
         "cafe - xlru",
     ]);
-    for profile in ServerProfile::world_servers() {
-        let name = profile.name.clone();
-        let trace = trace_for(profile, scale, days);
-        let n = trace.len();
-        let reports = run_paper_three(&trace, disk, k, costs);
-        let e: Vec<f64> = reports.iter().map(|r| r.efficiency()).collect();
+    for (i, (name, trace)) in traces.iter().enumerate() {
+        let g = &e[i * 3..i * 3 + 3];
         table.row(vec![
             name.clone(),
-            n.to_string(),
-            eff(e[0]),
-            eff(e[1]),
-            eff(e[2]),
-            format!("{:+.3}", e[1] - e[0]),
+            trace.len().to_string(),
+            eff(g[0]),
+            eff(g[1]),
+            eff(g[2]),
+            format!("{:+.3}", g[1] - g[0]),
         ]);
-        eprintln!("  {name} done ({n} requests)");
     }
     println!("== Figure 7: efficiency per world server (1 TB-scaled, alpha=2) ==");
     println!("{}", table.render());

@@ -10,17 +10,24 @@
 //! cluster tightly and cannot react to `α_F2R` at all, while admission
 //! control moves the operating point.
 //!
+//! The α × policy grid (12 cells) runs through the deterministic
+//! parallel runner; set `VCDN_WORKERS` to control fan-out.
+//!
 //! Usage: `related_work_baselines [--scale f] [--days n]`
 
-use vcdn_bench::{arg_days, trace_for, Scale, PAPER_DISK_BYTES};
+use vcdn_bench::{arg_days, sweep, trace_for, Scale, PAPER_DISK_BYTES};
 use vcdn_core::{
     baselines::{GdspCache, LfuCache, LruKCache},
     CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache, XlruCache,
 };
 use vcdn_sim::report::{eff, Table};
-use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_sim::runner::Cell;
+use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
 use vcdn_trace::ServerProfile;
 use vcdn_types::{ChunkSize, CostModel};
+
+/// The compared policies: constructor plus the admission-control note.
+type Entry = (fn(CacheConfig) -> Box<dyn CachePolicy>, &'static str);
 
 fn main() {
     let scale = Scale::from_args();
@@ -30,6 +37,40 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("related-work: {} requests, disk={disk}", trace.len());
 
+    let entries: [Entry; 6] = [
+        (|c| Box::new(LruCache::new(c)), "no (always fill)"),
+        (|c| Box::new(LfuCache::new(c)), "no (always fill)"),
+        (|c| Box::new(LruKCache::lru2(c)), "no (always fill)"),
+        (|c| Box::new(GdspCache::new(c)), "no (always fill)"),
+        (|c| Box::new(XlruCache::new(c)), "yes (Eq. 5)"),
+        (
+            |c| {
+                Box::new(CafeCache::new(CafeConfig::new(
+                    c.disk_chunks,
+                    c.chunk_size,
+                    c.costs,
+                )))
+            },
+            "yes (Eqs. 6-7)",
+        ),
+    ];
+
+    let alphas = [1.0, 2.0];
+    let cells: Vec<Cell<ReplayReport>> = alphas
+        .iter()
+        .flat_map(|&alpha| {
+            let trace = &trace;
+            entries.iter().enumerate().map(move |(i, &(build, _))| {
+                let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                Cell::new(format!("alpha={alpha} policy {i}"), move || {
+                    let mut policy = build(CacheConfig::new(disk, k, costs));
+                    Replayer::new(ReplayConfig::new(k, costs)).replay(trace, policy.as_mut())
+                })
+            })
+        })
+        .collect();
+    let reports: Vec<ReplayReport> = sweep("related-work", cells).values();
+
     let mut table = Table::new(vec![
         "alpha",
         "policy",
@@ -38,23 +79,9 @@ fn main() {
         "ingress%",
         "redirect%",
     ]);
-    for alpha in [1.0, 2.0] {
-        let costs = CostModel::from_alpha(alpha).expect("valid alpha");
-        let cache_cfg = CacheConfig::new(disk, k, costs);
-        let mut policies: Vec<(Box<dyn CachePolicy>, &str)> = vec![
-            (Box::new(LruCache::new(cache_cfg)), "no (always fill)"),
-            (Box::new(LfuCache::new(cache_cfg)), "no (always fill)"),
-            (Box::new(LruKCache::lru2(cache_cfg)), "no (always fill)"),
-            (Box::new(GdspCache::new(cache_cfg)), "no (always fill)"),
-            (Box::new(XlruCache::new(cache_cfg)), "yes (Eq. 5)"),
-            (
-                Box::new(CafeCache::new(CafeConfig::new(disk, k, costs))),
-                "yes (Eqs. 6-7)",
-            ),
-        ];
-        let replayer = Replayer::new(ReplayConfig::new(k, costs));
-        for (policy, admission) in &mut policies {
-            let r = replayer.replay(&trace, policy.as_mut());
+    for (i, alpha) in alphas.iter().enumerate() {
+        for (j, (_, admission)) in entries.iter().enumerate() {
+            let r = &reports[i * entries.len() + j];
             table.row(vec![
                 format!("{alpha}"),
                 r.policy.to_string(),
@@ -63,7 +90,6 @@ fn main() {
                 format!("{:.1}", r.ingress_pct()),
                 format!("{:.1}", r.redirect_pct()),
             ]);
-            eprintln!("  alpha={alpha} {} done", r.policy);
         }
     }
     println!("== Related work: replacement-only vs admission-controlled caches ==");

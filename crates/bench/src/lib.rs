@@ -7,10 +7,14 @@
 //! construction per server profile, and the policy-factory used to run the
 //! same trace through xLRU, Cafe and Psychic.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
 use vcdn_core::{
     CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig,
     XlruCache,
 };
+use vcdn_sim::runner::{run_grid, worker_count, Cell, GridRun};
 use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
 use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
 use vcdn_types::{ChunkSize, CostModel, DurationMs};
@@ -150,24 +154,79 @@ pub fn run_algo(
     Replayer::new(ReplayConfig::new(k, costs)).replay(trace, policy.as_mut())
 }
 
-/// Replays `trace` through xLRU, Cafe and Psychic (figure order), one
-/// worker thread per algorithm.
+/// Replays `trace` through xLRU, Cafe and Psychic (figure order) via the
+/// deterministic grid runner, at most one worker per algorithm.
 pub fn run_paper_three(
     trace: &Trace,
     disk_chunks: u64,
     k: ChunkSize,
     costs: CostModel,
 ) -> Vec<ReplayReport> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = Algo::paper_three()
-            .into_iter()
-            .map(|a| scope.spawn(move || run_algo(a, trace, disk_chunks, k, costs)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
-            .collect()
-    })
+    let cells: Vec<Cell<ReplayReport>> = Algo::paper_three()
+        .into_iter()
+        .map(|a| Cell::new(a.name(), move || run_algo(a, trace, disk_chunks, k, costs)))
+        .collect();
+    run_grid(cells, grid_workers().min(3)).values()
+}
+
+/// Worker threads for experiment grids: the `VCDN_WORKERS` environment
+/// variable if set, else available parallelism (see
+/// [`vcdn_sim::runner::worker_count`]).
+pub fn grid_workers() -> usize {
+    worker_count()
+}
+
+/// Runs an experiment grid with a shared progress/timing report on stderr:
+/// one line per finished cell, then totals with the measured speedup over
+/// a sequential run (sum of per-cell wall times / grid wall time).
+///
+/// Results are deterministic: identical (labels and values) for any worker
+/// count — set `VCDN_WORKERS=1` to force a sequential run.
+pub fn sweep<'a, T: Send>(title: &str, cells: Vec<Cell<'a, T>>) -> GridRun<T> {
+    let workers = grid_workers();
+    let total = cells.len();
+    eprintln!("[{title}] {total} cells on {workers} worker(s)");
+    let done = AtomicUsize::new(0);
+    let done = &done;
+    let wrapped: Vec<Cell<T>> = cells
+        .into_iter()
+        .map(|cell| {
+            let (label, job) = cell.into_parts();
+            let echo = label.clone();
+            let title = title.to_string();
+            Cell::new(label, move || {
+                let t0 = Instant::now();
+                let value = job();
+                let i = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[{title}] {i}/{total} done: {echo} ({:.2?})", t0.elapsed());
+                value
+            })
+        })
+        .collect();
+    let run = run_grid(wrapped, workers);
+    eprintln!(
+        "[{title}] total {:.2?}; cells sum {:.2?}; speedup {:.2}x on {} worker(s)",
+        run.total_wall,
+        run.cell_wall_sum(),
+        run.speedup(),
+        run.workers,
+    );
+    run
+}
+
+/// Times `iters` runs of `f` (after one warm-up run) and prints the mean
+/// per-iteration time. A dependency-free stand-in for a bench harness,
+/// used by the `harness = false` benches under `benches/`.
+pub fn bench_report(name: &str, iters: u32, mut f: impl FnMut()) -> Duration {
+    assert!(iters > 0, "bench needs at least one iteration");
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("{name:<48} {iters:>6} iters   {per:>12.2?}/iter");
+    per
 }
 
 #[cfg(test)]
@@ -188,6 +247,23 @@ mod tests {
         let names: Vec<&str> = Algo::paper_three().iter().map(Algo::name).collect();
         assert_eq!(names, vec!["xlru", "cafe", "psychic"]);
         assert_eq!(Algo::Lru.name(), "lru");
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let cells: Vec<Cell<u32>> = (0..6)
+            .map(|i| Cell::new(format!("c{i}"), move || i * 3))
+            .collect();
+        let run = sweep("test-sweep", cells);
+        assert_eq!(run.values(), vec![0, 3, 6, 9, 12, 15]);
+    }
+
+    #[test]
+    fn bench_report_times_the_closure() {
+        let mut n = 0u64;
+        let per = bench_report("noop", 4, || n += 1);
+        assert_eq!(n, 5); // warm-up + 4 timed iterations
+        assert!(per <= Duration::from_secs(1));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! terabyte of hot disk state; what it must persist is the *index* — which
 //! chunks are on disk and the popularity bookkeeping that admission
 //! decisions need. These snapshot types capture exactly that state for
-//! [`XlruCache`] and [`CafeCache`] in a serde-friendly shape, with the
+//! [`XlruCache`] and [`CafeCache`] in a JSON-friendly shape, with the
 //! invariant that a restored cache makes byte-for-byte identical decisions
 //! from that point on.
 //!
@@ -22,8 +22,7 @@
 //! assert_eq!(restored.disk_used_chunks(), cache.disk_used_chunks());
 //! ```
 
-use serde::{Deserialize, Serialize};
-use vcdn_types::{ChunkId, ChunkSize, CostModel, Timestamp, VideoId};
+use vcdn_types::{impl_json_struct, ChunkId, ChunkSize, CostModel, Timestamp, VideoId};
 
 use crate::{
     cafe::{CafeCache, CafeConfig, WindowPolicy},
@@ -32,7 +31,7 @@ use crate::{
 };
 
 /// Serialisable form of a [`CacheConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfigSnapshot {
     /// Disk capacity in chunks.
     pub disk_chunks: u64,
@@ -41,6 +40,12 @@ pub struct CacheConfigSnapshot {
     /// `α_F2R`.
     pub alpha: f64,
 }
+
+impl_json_struct!(CacheConfigSnapshot {
+    disk_chunks,
+    chunk_bytes,
+    alpha,
+});
 
 impl CacheConfigSnapshot {
     pub(crate) fn capture(c: &CacheConfig) -> Self {
@@ -85,7 +90,7 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// Full persisted state of an [`XlruCache`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct XlruSnapshot {
     /// Configuration.
     pub config: CacheConfigSnapshot,
@@ -97,8 +102,15 @@ pub struct XlruSnapshot {
     pub handled: u64,
 }
 
+impl_json_struct!(XlruSnapshot {
+    config,
+    disk,
+    tracker,
+    handled,
+});
+
 /// Full persisted state of a [`CafeCache`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CafeSnapshot {
     /// Configuration.
     pub config: CacheConfigSnapshot,
@@ -120,6 +132,18 @@ pub struct CafeSnapshot {
     /// Replay start time, if any requests were seen.
     pub replay_start: Option<Timestamp>,
 }
+
+impl_json_struct!(CafeSnapshot {
+    config,
+    gamma,
+    fixed_window_ms,
+    unseen_chunk_estimate,
+    iat,
+    video_seen,
+    disk,
+    handled,
+    replay_start,
+});
 
 impl CafeSnapshot {
     /// Rebuilds the [`CafeConfig`] embedded in the snapshot.
@@ -319,8 +343,8 @@ mod tests {
             cache.handle_request(r);
         }
         let snap = cache.snapshot();
-        let json = serde_json::to_string(&snap).expect("serializes");
-        let back: CafeSnapshot = serde_json::from_str(&json).expect("parses");
+        let json = vcdn_types::json::to_string(&snap);
+        let back: CafeSnapshot = vcdn_types::json::from_str(&json).expect("parses");
         assert_eq!(back, snap);
         let restored = CafeCache::restore(&back).expect("restores");
         assert_eq!(restored.disk_used_chunks(), cache.disk_used_chunks());

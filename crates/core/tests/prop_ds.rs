@@ -1,7 +1,11 @@
-//! Property-based tests: the cache data structures against naive models.
+//! Randomized model tests: the cache data structures against naive models.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these replay random operation sequences drawn from
+//! [`DetRng`]; failures print the case seed.
 
-use proptest::prelude::*;
 use vcdn_core::ds::{IndexedLruList, KeyedSet};
+use vcdn_trace::rng::DetRng;
 use vcdn_types::Timestamp;
 
 /// Operations applicable to both the LRU list and its reference model.
@@ -12,46 +16,56 @@ enum LruOp {
     Remove(u8),
 }
 
-fn lru_op() -> impl Strategy<Value = LruOp> {
-    prop_oneof![
-        (0u8..24).prop_map(LruOp::Touch),
-        Just(LruOp::PopOldest),
-        (0u8..24).prop_map(LruOp::Remove),
-    ]
+fn lru_op(rng: &mut DetRng) -> LruOp {
+    match rng.below(3) {
+        0 => LruOp::Touch(rng.below(24) as u8),
+        1 => LruOp::PopOldest,
+        _ => LruOp::Remove(rng.below(24) as u8),
+    }
 }
 
-proptest! {
-    #[test]
-    fn lru_list_matches_model(ops in proptest::collection::vec(lru_op(), 1..400)) {
+#[test]
+fn lru_list_matches_model() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x00D5_18A7 ^ case);
+        let n_ops = 1 + rng.below(400) as usize;
         let mut lru: IndexedLruList<u8> = IndexedLruList::new();
         // Model: Vec ordered newest-first.
         let mut model: Vec<(u8, Timestamp)> = Vec::new();
         let mut clock = 0u64;
-        for op in ops {
+        for _ in 0..n_ops {
             clock += 1;
             let t = Timestamp(clock);
-            match op {
+            match lru_op(&mut rng) {
                 LruOp::Touch(k) => {
                     lru.touch(k, t);
                     model.retain(|(mk, _)| *mk != k);
                     model.insert(0, (k, t));
                 }
                 LruOp::PopOldest => {
-                    prop_assert_eq!(lru.pop_oldest(), model.pop());
+                    assert_eq!(lru.pop_oldest(), model.pop(), "case {case}");
                 }
                 LruOp::Remove(k) => {
                     let want = model
                         .iter()
                         .position(|(mk, _)| *mk == k)
                         .map(|i| model.remove(i).1);
-                    prop_assert_eq!(lru.remove(&k), want);
+                    assert_eq!(lru.remove(&k), want, "case {case}");
                 }
             }
-            prop_assert_eq!(lru.len(), model.len());
-            prop_assert_eq!(lru.oldest().map(|(k, t)| (*k, t)), model.last().copied());
-            prop_assert_eq!(lru.newest_time(), model.first().map(|(_, t)| *t));
+            assert_eq!(lru.len(), model.len(), "case {case}");
+            assert_eq!(
+                lru.oldest().map(|(k, t)| (*k, t)),
+                model.last().copied(),
+                "case {case}"
+            );
+            assert_eq!(
+                lru.newest_time(),
+                model.first().map(|(_, t)| *t),
+                "case {case}"
+            );
             let got: Vec<(u8, Timestamp)> = lru.iter().map(|(k, t)| (*k, t)).collect();
-            prop_assert_eq!(got, model.clone());
+            assert_eq!(got, model, "case {case}");
         }
     }
 }
@@ -64,18 +78,20 @@ enum SetOp {
     PopLargest,
 }
 
-fn set_op() -> impl Strategy<Value = SetOp> {
-    prop_oneof![
-        ((0u8..24), (-1000i32..1000)).prop_map(|(k, v)| SetOp::Insert(k, v)),
-        (0u8..24).prop_map(SetOp::Remove),
-        Just(SetOp::PopSmallest),
-        Just(SetOp::PopLargest),
-    ]
+fn set_op(rng: &mut DetRng) -> SetOp {
+    match rng.below(4) {
+        0 => SetOp::Insert(rng.below(24) as u8, rng.below(2000) as i32 - 1000),
+        1 => SetOp::Remove(rng.below(24) as u8),
+        2 => SetOp::PopSmallest,
+        _ => SetOp::PopLargest,
+    }
 }
 
-proptest! {
-    #[test]
-    fn keyed_set_matches_model(ops in proptest::collection::vec(set_op(), 1..400)) {
+#[test]
+fn keyed_set_matches_model() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x05E7_18A7 ^ case);
+        let n_ops = 1 + rng.below(400) as usize;
         let mut set: KeyedSet<u8> = KeyedSet::new();
         let mut model: std::collections::HashMap<u8, f64> = std::collections::HashMap::new();
         let min_of = |m: &std::collections::HashMap<u8, f64>| {
@@ -88,57 +104,62 @@ proptest! {
                 .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN").then(a.0.cmp(b.0)))
                 .map(|(k, v)| (*k, *v))
         };
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match set_op(&mut rng) {
                 SetOp::Insert(k, v) => {
                     let key = v as f64 / 8.0;
                     set.insert(k, key);
                     model.insert(k, key);
                 }
                 SetOp::Remove(k) => {
-                    prop_assert_eq!(set.remove(&k), model.remove(&k));
+                    assert_eq!(set.remove(&k), model.remove(&k), "case {case}");
                 }
                 SetOp::PopSmallest => {
                     let want = min_of(&model);
-                    prop_assert_eq!(set.pop_smallest(), want);
+                    assert_eq!(set.pop_smallest(), want, "case {case}");
                     if let Some((k, _)) = want {
                         model.remove(&k);
                     }
                 }
                 SetOp::PopLargest => {
                     let want = max_of(&model);
-                    prop_assert_eq!(set.pop_largest(), want);
+                    assert_eq!(set.pop_largest(), want, "case {case}");
                     if let Some((k, _)) = want {
                         model.remove(&k);
                     }
                 }
             }
-            prop_assert_eq!(set.len(), model.len());
-            prop_assert_eq!(set.smallest(), min_of(&model));
-            prop_assert_eq!(set.largest(), max_of(&model));
+            assert_eq!(set.len(), model.len(), "case {case}");
+            assert_eq!(set.smallest(), min_of(&model), "case {case}");
+            assert_eq!(set.largest(), max_of(&model), "case {case}");
             // Ascending iteration is sorted and complete.
             let keys: Vec<f64> = set.iter_ascending().map(|(_, k)| k).collect();
-            prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
-            prop_assert_eq!(keys.len(), model.len());
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "case {case}");
+            assert_eq!(keys.len(), model.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn smallest_excluding_is_sound(
-        entries in proptest::collection::hash_map(0u8..40, -100i32..100, 0..30),
-        n in 0usize..10,
-        threshold in 0u8..40,
-    ) {
+#[test]
+fn smallest_excluding_is_sound() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::new(0x5AA11E57 ^ case);
+        let mut entries: std::collections::HashMap<u8, i32> = std::collections::HashMap::new();
+        for _ in 0..rng.below(30) {
+            entries.insert(rng.below(40) as u8, rng.below(200) as i32 - 100);
+        }
+        let n = rng.below(10) as usize;
+        let threshold = rng.below(40) as u8;
         let mut set: KeyedSet<u8> = KeyedSet::new();
         for (&k, &v) in &entries {
             set.insert(k, v as f64);
         }
         let picked = set.smallest_excluding(n, |k| *k < threshold);
         // No excluded items, at most n, ascending, and minimal.
-        prop_assert!(picked.len() <= n);
-        prop_assert!(picked.iter().all(|(k, _)| *k >= threshold));
-        prop_assert!(picked.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(picked.len() <= n, "case {case}");
+        assert!(picked.iter().all(|(k, _)| *k >= threshold), "case {case}");
+        assert!(picked.windows(2).all(|w| w[0].1 <= w[1].1), "case {case}");
         let eligible = entries.iter().filter(|(k, _)| **k >= threshold).count();
-        prop_assert_eq!(picked.len(), n.min(eligible));
+        assert_eq!(picked.len(), n.min(eligible), "case {case}");
     }
 }

@@ -1,71 +1,82 @@
-//! Property-based tests for the Optimal cache's LP builders: formulation
+//! Randomized tests for the Optimal cache's LP builders: formulation
 //! equivalence and the lower-bound guarantee, over random request streams.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these loop over [`DetRng`]-generated cases; failures print the
+//! case number.
 
-use proptest::prelude::*;
 use vcdn_core::{
     lp_bound_paper, lp_bound_reduced, CacheConfig, CachePolicy, LruCache, PsychicCache,
     PsychicConfig, XlruCache,
 };
+use vcdn_trace::rng::DetRng;
 use vcdn_types::{ByteRange, ChunkSize, CostModel, Decision, Request, Timestamp, VideoId};
+
+const CASES: u64 = 48;
 
 fn k() -> ChunkSize {
     ChunkSize::new(100).expect("non-zero")
 }
 
 /// Small random request streams: few videos, short ranges, rising time.
-fn requests(max_len: usize) -> impl Strategy<Value = Vec<Request>> {
-    proptest::collection::vec((0u64..4, 0u64..4, 0u64..3, 1u64..30), 1..max_len).prop_map(|raw| {
-        let mut t = 0u64;
-        raw.into_iter()
-            .map(|(video, chunk0, extra, gap)| {
-                t += gap;
-                let start = chunk0 * 100;
-                let end = start + extra * 100 + 99;
-                Request::new(
-                    VideoId(video),
-                    ByteRange::new(start, end).expect("start <= end"),
-                    Timestamp(t),
-                )
-            })
-            .collect()
-    })
+fn requests(rng: &mut DetRng, max_len: usize) -> Vec<Request> {
+    let n = 1 + rng.below(max_len as u64 - 1) as usize;
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            let video = rng.below(4);
+            let chunk0 = rng.below(4);
+            let extra = rng.below(3);
+            t += 1 + rng.below(29);
+            let start = chunk0 * 100;
+            let end = start + extra * 100 + 99;
+            Request::new(
+                VideoId(video),
+                ByteRange::new(start, end).expect("start <= end"),
+                Timestamp(t),
+            )
+        })
+        .collect()
 }
 
-fn alpha() -> impl Strategy<Value = f64> {
-    prop_oneof![Just(0.5), Just(1.0), Just(2.0)]
+fn alpha(rng: &mut DetRng) -> f64 {
+    [0.5, 1.0, 2.0][rng.below(3) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn formulations_reach_the_same_optimum(
-        reqs in requests(14),
-        a in alpha(),
-        disk in 1u64..6,
-    ) {
+#[test]
+fn formulations_reach_the_same_optimum() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x0B71 ^ case);
+        let reqs = requests(&mut rng, 14);
+        let a = alpha(&mut rng);
+        let disk = 1 + rng.below(5);
         let costs = CostModel::from_alpha(a).expect("valid alpha");
         let cfg = CacheConfig::new(disk, k(), costs);
         let paper = lp_bound_paper(&reqs, &cfg).expect("paper LP solves");
         let reduced = lp_bound_reduced(&reqs, &cfg).expect("reduced LP solves");
-        prop_assert!(
+        assert!(
             (paper.lp_cost - reduced.lp_cost).abs() < 1e-5,
-            "paper {} vs reduced {}",
+            "case {case}: paper {} vs reduced {}",
             paper.lp_cost,
             reduced.lp_cost
         );
-        prop_assert_eq!(paper.total_requested_chunks, reduced.total_requested_chunks);
+        assert_eq!(
+            paper.total_requested_chunks, reduced.total_requested_chunks,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn lp_cost_lower_bounds_online_schedules(
-        reqs in requests(30),
-        a in alpha(),
+#[test]
+fn lp_cost_lower_bounds_online_schedules() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x0B72 ^ case);
+        let reqs = requests(&mut rng, 30);
+        let a = alpha(&mut rng);
         // Disk must be at least the largest request (3 chunks): the IP's
-        // constraint (10d) cannot express fill-through serving of
-        // requests larger than the disk, which online caches do perform.
-        disk in 3u64..8,
-    ) {
+        // constraint (10d) cannot express fill-through serving of requests
+        // larger than the disk, which online caches do perform.
+        let disk = 3 + rng.below(5);
         let costs = CostModel::from_alpha(a).expect("valid alpha");
         let cfg = CacheConfig::new(disk, k(), costs);
         let bound = lp_bound_reduced(&reqs, &cfg).expect("reduced LP solves");
@@ -87,33 +98,35 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(
+            assert!(
                 bound.lp_cost <= cost + 1e-6,
-                "{}: LP {} > achieved {}",
+                "case {case}: {}: LP {} > achieved {}",
                 p.name(),
                 bound.lp_cost,
                 cost
             );
         }
     }
+}
 
-    #[test]
-    fn bound_is_within_metric_range(
-        reqs in requests(25),
-        a in alpha(),
-        disk in 1u64..8,
-    ) {
+#[test]
+fn bound_is_within_metric_range() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x0B73 ^ case);
+        let reqs = requests(&mut rng, 25);
+        let a = alpha(&mut rng);
+        let disk = 1 + rng.below(7);
         let costs = CostModel::from_alpha(a).expect("valid alpha");
         let cfg = CacheConfig::new(disk, k(), costs);
         let bound = lp_bound_reduced(&reqs, &cfg).expect("reduced LP solves");
-        prop_assert!(bound.lp_cost >= -1e-9);
-        prop_assert!(bound.efficiency_upper_bound <= 1.0 + 1e-9);
-        prop_assert!(bound.efficiency_upper_bound >= -1.0 - 1e-9);
+        assert!(bound.lp_cost >= -1e-9, "case {case}");
+        assert!(bound.efficiency_upper_bound <= 1.0 + 1e-9, "case {case}");
+        assert!(bound.efficiency_upper_bound >= -1.0 - 1e-9, "case {case}");
         // Cost never exceeds redirect-everything.
         let all_redirect: f64 = reqs
             .iter()
             .map(|r| r.chunk_len(k()) as f64 * costs.c_r())
             .sum();
-        prop_assert!(bound.lp_cost <= all_redirect + 1e-6);
+        assert!(bound.lp_cost <= all_redirect + 1e-6, "case {case}");
     }
 }

@@ -1,40 +1,52 @@
-//! Property-based tests over the cache policies themselves: contract
+//! Randomized tests over the cache policies themselves: contract
 //! invariants under arbitrary (time-ordered) request sequences.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these loop over [`DetRng`]-generated cases; failures print the
+//! case number.
 
-use proptest::prelude::*;
 use vcdn_core::{
     CacheConfig, CachePolicy, CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig,
     XlruCache,
 };
+use vcdn_trace::rng::DetRng;
 use vcdn_types::{ByteRange, ChunkSize, CostModel, Decision, Request, Timestamp, VideoId};
+
+const CASES: u64 = 64;
 
 fn k() -> ChunkSize {
     ChunkSize::new(100).expect("non-zero")
 }
 
 /// A random time-ordered request sequence over a small universe.
-fn requests() -> impl Strategy<Value = Vec<Request>> {
-    proptest::collection::vec((0u64..8, 0u64..900, 1u64..400, 1u64..50), 1..120).prop_map(|raw| {
-        let mut t = 0u64;
-        raw.into_iter()
-            .map(|(video, start, len, gap)| {
-                t += gap;
-                Request::new(
-                    VideoId(video),
-                    ByteRange::new(start, start + len).expect("start <= end"),
-                    Timestamp(t),
-                )
-            })
-            .collect()
-    })
+fn requests(rng: &mut DetRng) -> Vec<Request> {
+    let n = 1 + rng.below(120) as usize;
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            let video = rng.below(8);
+            let start = rng.below(900);
+            let len = 1 + rng.below(399);
+            t += 1 + rng.below(49);
+            Request::new(
+                VideoId(video),
+                ByteRange::new(start, start + len).expect("start <= end"),
+                Timestamp(t),
+            )
+        })
+        .collect()
 }
 
-fn alpha() -> impl Strategy<Value = f64> {
-    prop_oneof![Just(0.5), Just(1.0), Just(2.0), Just(4.0)]
+fn alpha(rng: &mut DetRng) -> f64 {
+    [0.5, 1.0, 2.0, 4.0][rng.below(4) as usize]
+}
+
+fn disk(rng: &mut DetRng) -> u64 {
+    1 + rng.below(11)
 }
 
 /// Exercises one policy against the CachePolicy contract.
-fn check_contract(policy: &mut dyn CachePolicy, reqs: &[Request]) -> Result<(), TestCaseError> {
+fn check_contract(policy: &mut dyn CachePolicy, reqs: &[Request], case: u64) {
     let mut present: std::collections::HashSet<vcdn_types::ChunkId> =
         std::collections::HashSet::new();
     for r in reqs {
@@ -42,13 +54,13 @@ fn check_contract(policy: &mut dyn CachePolicy, reqs: &[Request]) -> Result<(), 
         match policy.handle_request(r) {
             Decision::Serve(o) => {
                 // Serve covers the whole request.
-                prop_assert_eq!(o.served_chunks(), chunks);
+                assert_eq!(o.served_chunks(), chunks, "case {case}");
                 // Evicted chunks were previously present (fills are
                 // genuinely stored and victims come from cached content)
                 // and are no longer contained.
                 for e in &o.evicted {
-                    prop_assert!(present.remove(e), "evicted never-present {e}");
-                    prop_assert!(!policy.contains_chunk(*e));
+                    assert!(present.remove(e), "case {case}: evicted never-present {e}");
+                    assert!(!policy.contains_chunk(*e), "case {case}");
                 }
                 for c in r.chunk_range(k()).iter() {
                     let id = vcdn_types::ChunkId::new(r.video, c);
@@ -62,61 +74,88 @@ fn check_contract(policy: &mut dyn CachePolicy, reqs: &[Request]) -> Result<(), 
             Decision::Redirect => {}
         }
         // Capacity invariant.
-        prop_assert!(policy.disk_used_chunks() <= policy.disk_capacity_chunks());
+        assert!(
+            policy.disk_used_chunks() <= policy.disk_capacity_chunks(),
+            "case {case}"
+        );
         // Shadow set consistency: everything we believe present is
         // reported as contained (the reverse need not hold since policies
         // may keep chunks we stopped tracking).
         for id in &present {
-            prop_assert!(policy.contains_chunk(*id), "lost chunk {id}");
+            assert!(policy.contains_chunk(*id), "case {case}: lost chunk {id}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lru_contract(reqs in requests(), disk in 1u64..12) {
-        let cfg = CacheConfig::new(disk, k(), CostModel::balanced());
-        check_contract(&mut LruCache::new(cfg), &reqs)?;
+#[test]
+fn lru_contract() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11C0 ^ case);
+        let reqs = requests(&mut rng);
+        let cfg = CacheConfig::new(disk(&mut rng), k(), CostModel::balanced());
+        check_contract(&mut LruCache::new(cfg), &reqs, case);
     }
+}
 
-    #[test]
-    fn xlru_contract(reqs in requests(), disk in 1u64..12, a in alpha()) {
-        let cfg = CacheConfig::new(disk, k(), CostModel::from_alpha(a).expect("valid"));
-        check_contract(&mut XlruCache::new(cfg), &reqs)?;
+#[test]
+fn xlru_contract() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11C1 ^ case);
+        let reqs = requests(&mut rng);
+        let d = disk(&mut rng);
+        let a = alpha(&mut rng);
+        let cfg = CacheConfig::new(d, k(), CostModel::from_alpha(a).expect("valid"));
+        check_contract(&mut XlruCache::new(cfg), &reqs, case);
     }
+}
 
-    #[test]
-    fn cafe_contract(reqs in requests(), disk in 1u64..12, a in alpha()) {
-        let costs = CostModel::from_alpha(a).expect("valid");
-        let mut cache = CafeCache::new(CafeConfig::new(disk, k(), costs));
-        check_contract(&mut cache, &reqs)?;
+#[test]
+fn cafe_contract() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11C2 ^ case);
+        let reqs = requests(&mut rng);
+        let d = disk(&mut rng);
+        let costs = CostModel::from_alpha(alpha(&mut rng)).expect("valid");
+        let mut cache = CafeCache::new(CafeConfig::new(d, k(), costs));
+        check_contract(&mut cache, &reqs, case);
     }
+}
 
-    #[test]
-    fn psychic_contract(reqs in requests(), disk in 1u64..12, a in alpha()) {
-        let costs = CostModel::from_alpha(a).expect("valid");
-        let mut cache = PsychicCache::new(PsychicConfig::new(disk, k(), costs), &reqs);
-        check_contract(&mut cache, &reqs)?;
+#[test]
+fn psychic_contract() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11C3 ^ case);
+        let reqs = requests(&mut rng);
+        let d = disk(&mut rng);
+        let costs = CostModel::from_alpha(alpha(&mut rng)).expect("valid");
+        let mut cache = PsychicCache::new(PsychicConfig::new(d, k(), costs), &reqs);
+        check_contract(&mut cache, &reqs, case);
     }
+}
 
-    #[test]
-    fn policies_are_deterministic(reqs in requests(), disk in 1u64..12, a in alpha()) {
-        let costs = CostModel::from_alpha(a).expect("valid");
+#[test]
+fn policies_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11C4 ^ case);
+        let reqs = requests(&mut rng);
+        let d = disk(&mut rng);
+        let costs = CostModel::from_alpha(alpha(&mut rng)).expect("valid");
         let run = || -> Vec<Decision> {
-            let mut cache = CafeCache::new(CafeConfig::new(disk, k(), costs));
+            let mut cache = CafeCache::new(CafeConfig::new(d, k(), costs));
             reqs.iter().map(|r| cache.handle_request(r)).collect()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    #[test]
-    fn full_hits_are_always_served(reqs in requests(), a in alpha()) {
+#[test]
+fn full_hits_are_always_served() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11C5 ^ case);
+        let reqs = requests(&mut rng);
         // With a disk large enough to never evict, any repeated identical
         // request (same range) must be served once its chunks are in.
-        let costs = CostModel::from_alpha(a).expect("valid");
+        let costs = CostModel::from_alpha(alpha(&mut rng)).expect("valid");
         let mut cache = CafeCache::new(CafeConfig::new(10_000, k(), costs));
         let mut served_once: std::collections::HashSet<(VideoId, u64, u64)> =
             std::collections::HashSet::new();
@@ -124,12 +163,12 @@ proptest! {
             let key = (r.video, r.bytes.start, r.bytes.end);
             let d = cache.handle_request(r);
             if served_once.contains(&key) {
-                prop_assert!(
+                assert!(
                     d.is_serve(),
-                    "previously filled request redirected: {r}"
+                    "case {case}: previously filled request redirected: {r}"
                 );
                 if let Decision::Serve(o) = &d {
-                    prop_assert_eq!(o.filled_chunks, 0, "refill of cached range");
+                    assert_eq!(o.filled_chunks, 0, "case {case}: refill of cached range");
                 }
             }
             if d.is_serve() {

@@ -1,12 +1,42 @@
-//! Property-based tests for the simplex solver.
+//! Randomized property tests for the simplex solver.
 //!
 //! Strategy: generate random LPs whose feasible region is a bounded box
 //! intersected with random half-planes, then verify (a) the reported
 //! solution is feasible and consistent, (b) no random feasible point beats
 //! it, and (c) in two dimensions, exhaustive vertex enumeration agrees.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these run a fixed number of cases from a deterministic
+//! SplitMix64 generator; failures print the case number.
 
-use proptest::prelude::*;
-use vcdn_lp::{LinearProgram, Relation, Status};
+use vcdn_lp::{LinearProgram, Relation, Status, VarId};
+
+/// Minimal deterministic generator (SplitMix64) for test-case inputs.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+fn case_rng(test_tag: u64, case: u64) -> TestRng {
+    TestRng(test_tag ^ case.wrapping_mul(0x2545F4914F6CDD1D))
+}
 
 /// A random LP: n vars in [0, 10] boxes, m extra `<=` half-planes with
 /// non-negative RHS (so x = 0 is always feasible), random costs.
@@ -16,29 +46,20 @@ struct RandomLp {
     rows: Vec<(Vec<i32>, i32)>,
 }
 
-fn random_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = RandomLp> {
-    random_lp_sized(1, max_vars, max_rows)
-}
-
-fn random_lp_sized(
-    min_vars: usize,
-    max_vars: usize,
-    max_rows: usize,
-) -> impl Strategy<Value = RandomLp> {
-    (min_vars..=max_vars).prop_flat_map(move |n| {
-        (
-            proptest::collection::vec(-9i32..=9, n),
-            proptest::collection::vec(
-                (proptest::collection::vec(-5i32..=5, n), 0i32..40),
-                0..=max_rows,
-            ),
-        )
-            .prop_map(|(costs, rows)| RandomLp { costs, rows })
-    })
+fn random_lp(rng: &mut TestRng, min_vars: usize, max_vars: usize, max_rows: usize) -> RandomLp {
+    let n = rng.int(min_vars as i64, max_vars as i64) as usize;
+    let costs = (0..n).map(|_| rng.int(-9, 9) as i32).collect();
+    let m = rng.int(0, max_rows as i64) as usize;
+    let rows = (0..m)
+        .map(|_| {
+            let coeffs = (0..n).map(|_| rng.int(-5, 5) as i32).collect();
+            (coeffs, rng.int(0, 39) as i32)
+        })
+        .collect();
+    RandomLp { costs, rows }
 }
 
 fn build(lp_def: &RandomLp) -> LinearProgram {
-    let n = lp_def.costs.len();
     let mut lp = LinearProgram::minimize();
     let vars: Vec<_> = lp_def.costs.iter().map(|&c| lp.add_var(c as f64)).collect();
     for &v in &vars {
@@ -55,50 +76,59 @@ fn build(lp_def: &RandomLp) -> LinearProgram {
             *rhs as f64,
         );
     }
-    let _ = n;
     lp
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn solution_is_feasible_and_consistent(def in random_lp(5, 6)) {
+#[test]
+fn solution_is_feasible_and_consistent() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(0x51317, case);
+        let def = random_lp(&mut rng, 1, 5, 6);
         let lp = build(&def);
         // x = 0 is feasible, every var bounded by 10 => never infeasible
         // nor unbounded.
         let sol = lp.solve().expect("box LPs always solve");
-        prop_assert_eq!(sol.status, Status::Optimal);
-        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
-        prop_assert!((lp.objective_at(&sol.values) - sol.objective).abs() < 1e-6);
+        assert_eq!(sol.status, Status::Optimal, "case {case}");
+        assert!(lp.is_feasible(&sol.values, 1e-6), "case {case}");
+        assert!(
+            (lp.objective_at(&sol.values) - sol.objective).abs() < 1e-6,
+            "case {case}"
+        );
         // The optimum can never beat the cost lower bound Σ min(c_i,0)*10.
         let lower: f64 = def.costs.iter().map(|&c| (c as f64).min(0.0) * 10.0).sum();
-        prop_assert!(sol.objective >= lower - 1e-6);
-        prop_assert!(sol.objective <= 1e-6); // x = 0 costs 0
+        assert!(sol.objective >= lower - 1e-6, "case {case}");
+        assert!(sol.objective <= 1e-6, "case {case}"); // x = 0 costs 0
     }
+}
 
-    #[test]
-    fn no_random_feasible_point_beats_the_optimum(
-        def in random_lp(4, 5),
-        probes in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 4), 40),
-    ) {
+#[test]
+fn no_random_feasible_point_beats_the_optimum() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(0xBEA75, case);
+        let def = random_lp(&mut rng, 4, 4, 5);
         let lp = build(&def);
         let sol = lp.solve().expect("box LPs always solve");
-        for p in probes {
-            let x = &p[..def.costs.len()];
-            if lp.is_feasible(x, 1e-9) {
-                prop_assert!(
-                    lp.objective_at(x) >= sol.objective - 1e-6,
-                    "probe {:?} beats reported optimum {}",
-                    x,
+        for _ in 0..40 {
+            let p: Vec<f64> = (0..def.costs.len())
+                .map(|_| rng.f64_range(0.0, 10.0))
+                .collect();
+            if lp.is_feasible(&p, 1e-9) {
+                assert!(
+                    lp.objective_at(&p) >= sol.objective - 1e-6,
+                    "case {case}: probe {:?} beats reported optimum {}",
+                    p,
                     sol.objective
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn two_var_optimum_matches_vertex_enumeration(def in random_lp_sized(2, 2, 4)) {
+#[test]
+fn two_var_optimum_matches_vertex_enumeration() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(0x0002_D017, case);
+        let def = random_lp(&mut rng, 2, 2, 4);
         let lp = build(&def);
         let sol = lp.solve().expect("box LPs always solve");
 
@@ -112,7 +142,11 @@ proptest! {
         ];
         for (coeffs, rhs) in &def.rows {
             let a = *coeffs.first().unwrap_or(&0) as f64;
-            let b = if coeffs.len() > 1 { coeffs[1] as f64 } else { 0.0 };
+            let b = if coeffs.len() > 1 {
+                coeffs[1] as f64
+            } else {
+                0.0
+            };
             lines.push((a, b, *rhs as f64));
         }
         let mut best = f64::INFINITY;
@@ -133,56 +167,54 @@ proptest! {
             }
         }
         // x = 0 is always a vertex candidate via axis intersections.
-        prop_assert!(best.is_finite());
-        prop_assert!(
+        assert!(best.is_finite(), "case {case}");
+        assert!(
             (sol.objective - best).abs() < 1e-5,
-            "simplex {} vs vertex enumeration {}",
+            "case {case}: simplex {} vs vertex enumeration {}",
             sol.objective,
             best
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Phase-1 coverage: LPs with >= and = rows built around a known feasible
+/// point, so feasibility is guaranteed but the all-slack basis is not
+/// available.
+#[test]
+fn phase1_problems_solve_and_do_not_exceed_witness() {
+    for case in 0..128u64 {
+        let mut rng = case_rng(0xF1A5E1, case);
+        let n = rng.int(2, 4) as usize;
+        let witness: Vec<i32> = (0..n).map(|_| rng.int(0, 9) as i32).collect();
+        let costs: Vec<i32> = (0..5).map(|_| rng.int(-5, 5) as i32).collect();
+        let n_rows = rng.int(1, 5) as usize;
 
-    /// Phase-1 coverage: LPs with >= and = rows built around a known
-    /// feasible point, so feasibility is guaranteed but the all-slack
-    /// basis is not available.
-    #[test]
-    fn phase1_problems_solve_and_do_not_exceed_witness(
-        witness in proptest::collection::vec(0i32..10, 2..5),
-        rows in proptest::collection::vec(
-            (proptest::collection::vec(-4i32..=4, 5), 0u8..3, 0i32..6),
-            1..6,
-        ),
-        costs in proptest::collection::vec(-5i32..=5, 5),
-    ) {
-        let n = witness.len();
         let mut lp = LinearProgram::minimize();
         let vars: Vec<_> = (0..n).map(|i| lp.add_var(costs[i] as f64)).collect();
         for &v in &vars {
             lp.add_upper_bound(v, 20.0);
         }
         let w: Vec<f64> = witness.iter().map(|&x| x as f64).collect();
-        for (coeffs, kind, slack) in &rows {
-            let row: Vec<(vcdn_lp::VarId, f64)> = coeffs
+        for _ in 0..n_rows {
+            let coeffs: Vec<i32> = (0..n).map(|_| rng.int(-4, 4) as i32).collect();
+            let kind = rng.int(0, 2);
+            let slack = rng.int(0, 5);
+            let row: Vec<(VarId, f64)> = coeffs
                 .iter()
-                .take(n)
                 .enumerate()
                 .map(|(i, &c)| (vars[i], c as f64))
                 .collect();
             let lhs_at_w: f64 = row.iter().map(|&(v, c)| c * w[v.index()]).sum();
-            match kind % 3 {
-                0 => lp.add_constraint(row, Relation::Ge, lhs_at_w - *slack as f64),
-                1 => lp.add_constraint(row, Relation::Le, lhs_at_w + *slack as f64),
+            match kind {
+                0 => lp.add_constraint(row, Relation::Ge, lhs_at_w - slack as f64),
+                1 => lp.add_constraint(row, Relation::Le, lhs_at_w + slack as f64),
                 _ => lp.add_constraint(row, Relation::Eq, lhs_at_w),
             }
         }
         // The witness is feasible by construction, so the LP must solve
         // and the optimum cannot exceed the witness's objective.
         let sol = lp.solve().expect("feasible by construction");
-        prop_assert!(lp.is_feasible(&sol.values, 1e-5));
-        prop_assert!(sol.objective <= lp.objective_at(&w) + 1e-5);
+        assert!(lp.is_feasible(&sol.values, 1e-5), "case {case}");
+        assert!(sol.objective <= lp.objective_at(&w) + 1e-5, "case {case}");
     }
 }

@@ -30,6 +30,7 @@ pub mod hierarchy;
 pub mod models;
 pub mod replay;
 pub mod report;
+pub mod runner;
 pub mod shard;
 
 pub use fleet::{replay_fleet, FleetReport};
@@ -37,3 +38,4 @@ pub use hierarchy::{replay_hierarchy, HierarchyReport};
 pub use models::{DiskIoModel, EgressModel, EgressSummary};
 pub use replay::{ReplayConfig, ReplayReport, Replayer, WindowStat};
 pub use report::Table;
+pub use runner::{run_grid, worker_count, Cell, CellResult, GridRun};

@@ -1,0 +1,82 @@
+//! The runner's core guarantee: a grid run is byte-identical no matter
+//! how many workers execute it.
+//!
+//! This drives a *real* sweep — replaying a generated trace through xLRU
+//! and Cafe across several α values — through [`run_grid`] with 1 worker
+//! and with many, and asserts the two result vectors are identical.
+
+use vcdn_core::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
+use vcdn_sim::runner::{run_grid, Cell, CellResult};
+use vcdn_sim::{ReplayConfig, Replayer};
+use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
+use vcdn_types::{ChunkSize, CostModel, DurationMs};
+
+fn trace() -> Trace {
+    TraceGenerator::new(ServerProfile::tiny_test(), 4217).generate(DurationMs::from_hours(12))
+}
+
+/// A cell's payload: policy name plus the full
+/// (hit, fill, redirect, served, redirected) accounting.
+type Accounting = (String, u64, u64, u64, u64, u64);
+
+/// One sweep: the (α × policy) grid.
+fn sweep_cells(trace: &Trace) -> Vec<Cell<'_, Accounting>> {
+    let k = ChunkSize::DEFAULT;
+    [0.5, 1.0, 2.0, 4.0]
+        .into_iter()
+        .flat_map(|alpha| {
+            ["xlru", "cafe"].into_iter().map(move |name| {
+                Cell::new(format!("alpha={alpha} {name}"), move || {
+                    let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                    let mut policy: Box<dyn CachePolicy> = match name {
+                        "xlru" => Box::new(XlruCache::new(CacheConfig::new(96, k, costs))),
+                        _ => Box::new(CafeCache::new(CafeConfig::new(96, k, costs))),
+                    };
+                    let r =
+                        Replayer::new(ReplayConfig::new(k, costs)).replay(trace, policy.as_mut());
+                    (
+                        r.policy.to_string(),
+                        r.overall.hit_bytes,
+                        r.overall.fill_bytes,
+                        r.overall.redirect_bytes,
+                        r.overall.served_requests,
+                        r.overall.redirected_requests,
+                    )
+                })
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_exactly() {
+    let trace = trace();
+    let sequential: Vec<CellResult<_>> = run_grid(sweep_cells(&trace), 1).results;
+    let parallel: Vec<CellResult<_>> = run_grid(sweep_cells(&trace), 8).results;
+    // CellResult equality covers label and value (the full byte
+    // accounting); wall time is explicitly excluded.
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn repeated_parallel_runs_agree_with_each_other() {
+    let trace = trace();
+    let a = run_grid(sweep_cells(&trace), 5).results;
+    let b = run_grid(sweep_cells(&trace), 3).results;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn results_arrive_in_submission_order() {
+    let trace = trace();
+    let labels: Vec<String> = run_grid(sweep_cells(&trace), 8)
+        .results
+        .into_iter()
+        .map(|c| c.label)
+        .collect();
+    let expected: Vec<String> = [0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .flat_map(|a| ["xlru", "cafe"].map(|n| format!("alpha={a} {n}")))
+        .collect();
+    assert_eq!(labels, expected);
+}

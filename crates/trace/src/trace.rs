@@ -11,11 +11,11 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-use vcdn_types::{DurationMs, Request, Timestamp};
+use vcdn_types::json::{self, JsonError};
+use vcdn_types::{impl_json_struct, DurationMs, Request, Timestamp};
 
 /// Provenance of a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Profile or source name.
     pub name: String,
@@ -27,10 +27,17 @@ pub struct TraceMeta {
     pub description: String,
 }
 
+impl_json_struct!(TraceMeta {
+    name,
+    seed,
+    duration,
+    description,
+});
+
 /// An ordered request log.
 ///
 /// Invariant: `requests` are sorted by non-decreasing timestamp.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Provenance metadata.
     pub meta: TraceMeta,
@@ -44,10 +51,7 @@ pub enum TraceIoError {
     /// Underlying filesystem error.
     Io(std::io::Error),
     /// A line failed to parse as JSON.
-    Parse {
-        line: usize,
-        source: serde_json::Error,
-    },
+    Parse { line: usize, source: JsonError },
     /// The file was empty (missing the metadata header).
     MissingHeader,
     /// Requests were not in timestamp order.
@@ -136,14 +140,10 @@ impl Trace {
     /// one request per line.
     pub fn save_jsonl(&self, path: &Path) -> Result<(), TraceIoError> {
         let mut w = BufWriter::new(File::create(path)?);
-        serde_json::to_writer(&mut w, &self.meta)
-            .map_err(|source| TraceIoError::Parse { line: 1, source })?;
+        json::to_writer(&mut w, &self.meta)?;
         w.write_all(b"\n")?;
-        for (i, r) in self.requests.iter().enumerate() {
-            serde_json::to_writer(&mut w, r).map_err(|source| TraceIoError::Parse {
-                line: i + 2,
-                source,
-            })?;
+        for r in &self.requests {
+            json::to_writer(&mut w, r)?;
             w.write_all(b"\n")?;
         }
         w.flush()?;
@@ -156,8 +156,8 @@ impl Trace {
         let reader = BufReader::new(File::open(path)?);
         let mut lines = reader.lines();
         let header = lines.next().ok_or(TraceIoError::MissingHeader)??;
-        let meta: TraceMeta = serde_json::from_str(&header)
-            .map_err(|source| TraceIoError::Parse { line: 1, source })?;
+        let meta: TraceMeta =
+            json::from_str(&header).map_err(|source| TraceIoError::Parse { line: 1, source })?;
         let mut requests = Vec::new();
         let mut last = Timestamp::EPOCH;
         for (i, line) in lines.enumerate() {
@@ -165,7 +165,7 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let r: Request = serde_json::from_str(&line).map_err(|source| TraceIoError::Parse {
+            let r: Request = json::from_str(&line).map_err(|source| TraceIoError::Parse {
                 line: i + 2,
                 source,
             })?;
@@ -256,7 +256,7 @@ mod tests {
 
         let p = dir.join("badline.jsonl");
         let t = sample_trace();
-        let meta = serde_json::to_string(&t.meta).unwrap();
+        let meta = json::to_string(&t.meta);
         std::fs::write(&p, format!("{meta}\nnot-json\n")).unwrap();
         assert!(matches!(
             Trace::load_jsonl(&p),
@@ -264,8 +264,8 @@ mod tests {
         ));
 
         let p = dir.join("disorder.jsonl");
-        let r1 = serde_json::to_string(&t.requests[2]).unwrap();
-        let r2 = serde_json::to_string(&t.requests[0]).unwrap();
+        let r1 = json::to_string(&t.requests[2]);
+        let r2 = json::to_string(&t.requests[0]);
         std::fs::write(&p, format!("{meta}\n{r1}\n{r2}\n")).unwrap();
         assert!(matches!(
             Trace::load_jsonl(&p),
@@ -279,8 +279,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("blank.jsonl");
         let t = sample_trace();
-        let meta = serde_json::to_string(&t.meta).unwrap();
-        let r1 = serde_json::to_string(&t.requests[0]).unwrap();
+        let meta = json::to_string(&t.meta);
+        let r1 = json::to_string(&t.requests[0]);
         std::fs::write(&p, format!("{meta}\n\n{r1}\n\n")).unwrap();
         let back = Trace::load_jsonl(&p).unwrap();
         assert_eq!(back.len(), 1);

@@ -1,7 +1,10 @@
-//! Property-based tests for workload generation: distribution bounds,
+//! Randomized property tests for workload generation: distribution bounds,
 //! session structure, trace invariants and down-sampling soundness.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these loop over cases whose inputs come from a meta [`DetRng`];
+//! failures print the case seed so a run can be reproduced.
 
-use proptest::prelude::*;
 use vcdn_trace::{
     dist::{sample_exp, sample_watch_fraction, LogNormal, Pareto, Zipf},
     downsample,
@@ -11,116 +14,139 @@ use vcdn_trace::{
 };
 use vcdn_types::{ChunkSize, DurationMs, Timestamp, VideoId};
 
-proptest! {
-    #[test]
-    fn rng_streams_are_seed_deterministic(seed in any::<u64>()) {
+/// Runs `cases` iterations, handing each a fresh seed from a meta-RNG.
+fn for_each_seed(cases: usize, test: impl Fn(&mut DetRng, u64)) {
+    let mut meta = DetRng::new(0x7ACE_0901);
+    for _ in 0..cases {
+        let seed = meta.next_u64();
+        let mut rng = DetRng::new(seed);
+        test(&mut rng, seed);
+    }
+}
+
+#[test]
+fn rng_streams_are_seed_deterministic() {
+    for_each_seed(256, |_, seed| {
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..32 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_below_stays_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
-        let mut r = DetRng::new(seed);
+#[test]
+fn rng_below_stays_in_range() {
+    for_each_seed(256, |rng, seed| {
+        let n = 1 + rng.below(1_000_000);
+        let mut r = DetRng::new(seed ^ 1);
         for _ in 0..64 {
-            prop_assert!(r.below(n) < n);
+            assert!(r.below(n) < n, "seed {seed}, n {n}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn zipf_samples_stay_in_rank_range(
-        seed in any::<u64>(),
-        n in 1u64..10_000,
-        s in 0.1f64..2.5,
-    ) {
+#[test]
+fn zipf_samples_stay_in_rank_range() {
+    for_each_seed(128, |rng, seed| {
+        let n = 1 + rng.below(10_000);
+        let s = 0.1 + rng.f64() * 2.4;
         let z = Zipf::new(n, s).expect("valid zipf");
-        let mut r = DetRng::new(seed);
         for _ in 0..64 {
-            let k = z.sample(&mut r);
-            prop_assert!((1..=n).contains(&k));
+            let k = z.sample(rng);
+            assert!((1..=n).contains(&k), "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn pareto_respects_scale(seed in any::<u64>(), xm in 0.1f64..10.0, a in 0.2f64..4.0) {
+#[test]
+fn pareto_respects_scale() {
+    for_each_seed(128, |rng, seed| {
+        let xm = 0.1 + rng.f64() * 9.9;
+        let a = 0.2 + rng.f64() * 3.8;
         let p = Pareto::new(xm, a).expect("valid pareto");
-        let mut r = DetRng::new(seed);
         for _ in 0..64 {
-            prop_assert!(p.sample(&mut r) >= xm);
+            assert!(p.sample(rng) >= xm, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn lognormal_is_positive(seed in any::<u64>(), mu in -3.0f64..10.0, sigma in 0.0f64..2.0) {
+#[test]
+fn lognormal_is_positive() {
+    for_each_seed(128, |rng, seed| {
+        let mu = -3.0 + rng.f64() * 13.0;
+        let sigma = rng.f64() * 2.0;
         let d = LogNormal::new(mu, sigma).expect("valid lognormal");
-        let mut r = DetRng::new(seed);
         for _ in 0..64 {
-            prop_assert!(d.sample(&mut r) > 0.0);
+            assert!(d.sample(rng) > 0.0, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn exponential_is_positive(seed in any::<u64>(), rate in 0.001f64..100.0) {
-        let mut r = DetRng::new(seed);
+#[test]
+fn exponential_is_positive() {
+    for_each_seed(128, |rng, seed| {
+        let rate = 0.001 + rng.f64() * 99.999;
         for _ in 0..64 {
-            prop_assert!(sample_exp(&mut r, rate) >= 0.0);
+            assert!(sample_exp(rng, rate) >= 0.0, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn watch_fraction_in_unit_interval(
-        seed in any::<u64>(),
-        p_full in 0.0f64..=1.0,
-        mean in 0.01f64..=1.0,
-    ) {
-        let mut r = DetRng::new(seed);
+#[test]
+fn watch_fraction_in_unit_interval() {
+    for_each_seed(128, |rng, seed| {
+        let p_full = rng.f64();
+        let mean = 0.01 + rng.f64() * 0.99;
         for _ in 0..32 {
-            let f = sample_watch_fraction(&mut r, p_full, mean);
-            prop_assert!(f > 0.0 && f <= 1.0);
+            let f = sample_watch_fraction(rng, p_full, mean);
+            assert!(f > 0.0 && f <= 1.0, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sessions_cover_contiguous_in_file_ranges(
-        seed in any::<u64>(),
-        size in 1u64..500_000_000,
-        req_bytes in 1u64..64_000_000,
-    ) {
+#[test]
+fn sessions_cover_contiguous_in_file_ranges() {
+    for_each_seed(128, |rng, seed| {
+        let size = 1 + rng.below(500_000_000);
+        let req_bytes = 1 + rng.below(64_000_000);
         let cfg = SessionConfig {
             request_bytes: req_bytes,
             ..SessionConfig::default()
         };
-        let mut r = DetRng::new(seed);
-        let reqs = expand_session(VideoId(1), size, Timestamp(7), &cfg, &mut r);
-        prop_assert!(!reqs.is_empty());
-        prop_assert!(reqs[0].t == Timestamp(7));
+        let reqs = expand_session(VideoId(1), size, Timestamp(7), &cfg, rng);
+        assert!(!reqs.is_empty(), "seed {seed}");
+        assert!(reqs[0].t == Timestamp(7), "seed {seed}");
         for w in reqs.windows(2) {
-            prop_assert_eq!(w[1].bytes.start, w[0].bytes.end + 1);
-            prop_assert!(w[0].t <= w[1].t);
+            assert_eq!(w[1].bytes.start, w[0].bytes.end + 1, "seed {seed}");
+            assert!(w[0].t <= w[1].t, "seed {seed}");
         }
         for q in &reqs {
-            prop_assert!(q.bytes.end < size);
-            prop_assert!(q.byte_len() <= req_bytes);
+            assert!(q.bytes.end < size, "seed {seed}");
+            assert!(q.byte_len() <= req_bytes, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn generated_traces_are_ordered_and_deterministic(seed in any::<u64>()) {
+#[test]
+fn generated_traces_are_ordered_and_deterministic() {
+    for_each_seed(8, |_, seed| {
         let profile = ServerProfile::tiny_test();
         let a = TraceGenerator::new(profile.clone(), seed).generate(DurationMs::from_hours(3));
         let b = TraceGenerator::new(profile, seed).generate(DurationMs::from_hours(3));
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.requests.windows(2).all(|w| w[0].t <= w[1].t));
-    }
+        assert_eq!(a, b, "seed {seed}");
+        assert!(
+            a.requests.windows(2).all(|w| w[0].t <= w[1].t),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn downsample_never_invents_requests(
-        seed in any::<u64>(),
-        files in 1usize..40,
-        cap_mb in 1u64..30,
-    ) {
+#[test]
+fn downsample_never_invents_requests() {
+    for_each_seed(8, |rng, seed| {
+        let files = 1 + rng.below(39) as usize;
+        let cap_mb = 1 + rng.below(29);
         let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
             .generate(DurationMs::from_hours(12));
         let cfg = DownsampleConfig {
@@ -130,45 +156,48 @@ proptest! {
             to: Timestamp(DurationMs::from_hours(12).as_millis()),
         };
         let d = downsample(&trace, &cfg);
-        prop_assert!(d.len() <= trace.len());
+        assert!(d.len() <= trace.len(), "seed {seed}");
         let videos: std::collections::HashSet<VideoId> =
             d.requests.iter().map(|r| r.video).collect();
-        prop_assert!(videos.len() <= files);
+        assert!(videos.len() <= files, "seed {seed}");
         for r in &d.requests {
-            prop_assert!(r.bytes.end < cap_mb * 1024 * 1024);
+            assert!(r.bytes.end < cap_mb * 1024 * 1024, "seed {seed}");
         }
         // Every kept request is a (possibly clipped) original request.
         for r in &d.requests {
-            prop_assert!(
+            assert!(
                 trace.requests.iter().any(|o| o.video == r.video
                     && o.t == r.t
                     && o.bytes.start == r.bytes.start
                     && o.bytes.end >= r.bytes.end),
-                "downsampled request {r} has no original"
+                "seed {seed}: downsampled request {r} has no original"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_identities_hold(seed in any::<u64>()) {
+#[test]
+fn stats_identities_hold() {
+    for_each_seed(8, |_, seed| {
         let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
             .generate(DurationMs::from_hours(8));
         let k = ChunkSize::DEFAULT;
         let s = vcdn_trace::stats::trace_stats(&trace, k);
-        prop_assert_eq!(s.requests, trace.len());
-        prop_assert!(s.requested_chunk_bytes >= s.requested_bytes);
-        prop_assert!(s.unique_chunks >= s.unique_videos);
-        prop_assert!((0.0..=1.0).contains(&s.tail_fraction));
-        prop_assert_eq!(
+        assert_eq!(s.requests, trace.len(), "seed {seed}");
+        assert!(s.requested_chunk_bytes >= s.requested_bytes, "seed {seed}");
+        assert!(s.unique_chunks >= s.unique_videos, "seed {seed}");
+        assert!((0.0..=1.0).contains(&s.tail_fraction), "seed {seed}");
+        assert_eq!(
             s.hourly_histogram.iter().sum::<u64>() as usize,
-            s.requests
+            s.requests,
+            "seed {seed}"
         );
-    }
+    });
 }
 
-proptest! {
-    #[test]
-    fn binary_format_roundtrips_generated_traces(seed in any::<u64>()) {
+#[test]
+fn binary_format_roundtrips_generated_traces() {
+    for_each_seed(8, |_, seed| {
         let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
             .generate(DurationMs::from_hours(2));
         let dir = std::env::temp_dir().join("vcdn-prop-binfmt");
@@ -177,11 +206,13 @@ proptest! {
         vcdn_trace::save_binary(&trace, &path).expect("save");
         let back = vcdn_trace::load_binary(&path).expect("load");
         std::fs::remove_file(&path).ok();
-        prop_assert_eq!(back, trace);
-    }
+        assert_eq!(back, trace, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn jsonl_format_roundtrips_generated_traces(seed in any::<u64>()) {
+#[test]
+fn jsonl_format_roundtrips_generated_traces() {
+    for_each_seed(8, |_, seed| {
         let trace = TraceGenerator::new(ServerProfile::tiny_test(), seed)
             .generate(DurationMs::from_hours(2));
         let dir = std::env::temp_dir().join("vcdn-prop-jsonl");
@@ -190,6 +221,6 @@ proptest! {
         trace.save_jsonl(&path).expect("save");
         let back = vcdn_trace::Trace::load_jsonl(&path).expect("load");
         std::fs::remove_file(&path).ok();
-        prop_assert_eq!(back, trace);
-    }
+        assert_eq!(back, trace, "seed {seed}");
+    });
 }

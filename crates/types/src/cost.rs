@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::impl_json_struct;
 
 /// Errors constructing a [`CostModel`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,12 +52,14 @@ impl std::error::Error for CostError {}
 /// assert!((m.c_f() + m.c_r() - 2.0).abs() < 1e-12);
 /// assert!((m.c_f() / m.c_r() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     alpha: f64,
     c_f: f64,
     c_r: f64,
 }
+
+impl_json_struct!(CostModel { alpha, c_f, c_r });
 
 impl CostModel {
     /// Builds the model from the fill-to-redirect ratio `α_F2R`.

@@ -2,16 +2,16 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{impl_json_newtype, impl_json_struct};
 
 /// Opaque identifier of a video file in the CDN catalog.
 ///
 /// The paper's request record carries `R.v`; anonymised IDs are modelled as
 /// plain `u64`s assigned by the trace generator.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VideoId(pub u64);
+
+impl_json_newtype!(VideoId);
 
 impl fmt::Display for VideoId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -35,13 +35,15 @@ impl fmt::Display for VideoId {
 /// assert_eq!(c.index, 14);
 /// assert_eq!(c.to_string(), "v3#14");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChunkId {
     /// The video this chunk belongs to.
     pub video: VideoId,
     /// Zero-based chunk number within the video.
     pub index: u32,
 }
+
+impl_json_struct!(ChunkId { video, index });
 
 impl ChunkId {
     /// Creates a chunk identifier.

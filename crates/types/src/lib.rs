@@ -29,6 +29,7 @@
 pub mod cost;
 pub mod decision;
 pub mod ids;
+pub mod json;
 pub mod metrics;
 pub mod range;
 pub mod request;

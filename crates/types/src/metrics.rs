@@ -17,9 +17,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
-use crate::cost::CostModel;
+use crate::{cost::CostModel, impl_json_struct};
 
 /// Accumulated request/traffic counters for a replay (or a window of one).
 ///
@@ -37,7 +35,7 @@ use crate::cost::CostModel;
 /// assert!((t.ingress_pct() - 10.0 / 90.0 * 100.0).abs() < 1e-9);
 /// assert!((t.redirect_pct() - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrafficCounter {
     /// Bytes served straight from cache.
     pub hit_bytes: u64,
@@ -50,6 +48,14 @@ pub struct TrafficCounter {
     /// Requests redirected.
     pub redirected_requests: u64,
 }
+
+impl_json_struct!(TrafficCounter {
+    hit_bytes,
+    fill_bytes,
+    redirect_bytes,
+    served_requests,
+    redirected_requests,
+});
 
 impl TrafficCounter {
     /// Records `bytes` served from cache.

@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{impl_json_newtype, impl_json_struct};
 
 /// Errors constructing ranges or chunk sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,8 +46,10 @@ impl std::error::Error for RangeError {}
 /// assert_eq!(k.bytes(), 2 * 1024 * 1024);
 /// assert!(ChunkSize::new(0).is_err());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChunkSize(u64);
+
+impl_json_newtype!(ChunkSize);
 
 impl ChunkSize {
     /// The paper's default chunk size of 2 MB.
@@ -105,13 +107,15 @@ impl fmt::Display for ChunkSize {
 /// assert_eq!(r.len(), 10);
 /// assert!(ByteRange::new(5, 4).is_err());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ByteRange {
     /// First byte offset (inclusive).
     pub start: u64,
     /// Last byte offset (inclusive).
     pub end: u64,
 }
+
+impl_json_struct!(ByteRange { start, end });
 
 impl ByteRange {
     /// Creates an inclusive byte range; fails if `start > end`.
@@ -171,13 +175,15 @@ impl fmt::Display for ByteRange {
 /// assert_eq!(r.len(), 3);
 /// assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChunkRange {
     /// First chunk index (inclusive).
     pub start: u32,
     /// Last chunk index (inclusive).
     pub end: u32,
 }
+
+impl_json_struct!(ChunkRange { start, end });
 
 impl ChunkRange {
     /// Creates an inclusive chunk range; fails if `start > end`.

@@ -2,10 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{
     ids::VideoId,
+    impl_json_struct,
     range::{ByteRange, ChunkRange, ChunkSize},
     time::Timestamp,
 };
@@ -26,7 +25,7 @@ use crate::{
 /// assert_eq!(r.chunk_range(k).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
 /// assert_eq!(r.bytes.len(), 271);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request {
     /// The requested video, `R.v`.
     pub video: VideoId,
@@ -35,6 +34,8 @@ pub struct Request {
     /// Arrival time, `R.t`.
     pub t: Timestamp,
 }
+
+impl_json_struct!(Request { video, bytes, t });
 
 impl Request {
     /// Creates a request record.
@@ -86,10 +87,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let r = Request::new(VideoId(5), ByteRange::new(0, 99).unwrap(), Timestamp(7));
-        let json = serde_json::to_string(&r).unwrap();
-        let back: Request = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&r);
+        let back: Request = crate::json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 }

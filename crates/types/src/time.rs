@@ -8,7 +8,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
+use crate::impl_json_newtype;
 
 /// A span of simulated time in milliseconds.
 ///
@@ -20,8 +20,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(DurationMs::from_secs(2).as_millis(), 2_000);
 /// assert_eq!(DurationMs::HOUR.as_millis(), 3_600_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DurationMs(pub u64);
+
+impl_json_newtype!(DurationMs);
 
 impl DurationMs {
     /// Zero-length duration.
@@ -107,10 +109,10 @@ impl Add for DurationMs {
 /// assert_eq!(t1 - t0, DurationMs::SECOND);
 /// assert_eq!(t0 - t1, DurationMs::ZERO); // saturating
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
+
+impl_json_newtype!(Timestamp);
 
 impl Timestamp {
     /// The replay epoch (time zero).

@@ -1,37 +1,83 @@
-//! Property-based tests for the core vocabulary: range arithmetic, the
-//! cost model's normalisation, and traffic-counter identities.
+//! Randomized property tests for the core vocabulary: range arithmetic,
+//! the cost model's normalisation, and traffic-counter identities.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these run a fixed number of cases drawn from a small
+//! deterministic SplitMix64 generator; failures print the case seed.
 
-use proptest::prelude::*;
 use vcdn_types::{
-    ByteRange, ChunkRange, ChunkSize, CostModel, Request, Timestamp, TrafficCounter, VideoId,
+    ByteRange, ChunkRange, ChunkSize, CostModel, DurationMs, Request, Timestamp, TrafficCounter,
+    VideoId,
 };
 
-proptest! {
-    #[test]
-    fn byte_to_chunk_range_covers_every_requested_byte(
-        start in 0u64..1_000_000,
-        len in 1u64..1_000_000,
-        k in 1u64..100_000,
-    ) {
-        let k = ChunkSize::new(k).expect("non-zero");
+const CASES: u64 = 512;
+
+/// Minimal deterministic generator (SplitMix64) for test-case inputs.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+fn for_each_case(test: impl Fn(&mut TestRng, u64)) {
+    for case in 0..CASES {
+        let mut rng = TestRng(0xC0FFEE ^ case.wrapping_mul(0x2545F4914F6CDD1D));
+        test(&mut rng, case);
+    }
+}
+
+#[test]
+fn byte_to_chunk_range_covers_every_requested_byte() {
+    for_each_case(|rng, case| {
+        let start = rng.range(0, 1_000_000);
+        let len = rng.range(1, 1_000_000);
+        let k = ChunkSize::new(rng.range(1, 100_000)).expect("non-zero");
         let bytes = ByteRange::new(start, start + len - 1).expect("start <= end");
         let chunks = bytes.chunk_range(k);
         // First chunk contains the first byte; last chunk the last byte.
-        prop_assert_eq!(u64::from(chunks.start), k.chunk_of_byte(bytes.start));
-        prop_assert_eq!(u64::from(chunks.end), k.chunk_of_byte(bytes.end));
+        assert_eq!(
+            u64::from(chunks.start),
+            k.chunk_of_byte(bytes.start),
+            "case {case}"
+        );
+        assert_eq!(
+            u64::from(chunks.end),
+            k.chunk_of_byte(bytes.end),
+            "case {case}"
+        );
         // Chunk-covered byte span is a superset of the byte range.
         let covered_start = u64::from(chunks.start) * k.bytes();
         let covered_end = (u64::from(chunks.end) + 1) * k.bytes() - 1;
-        prop_assert!(covered_start <= bytes.start);
-        prop_assert!(covered_end >= bytes.end);
+        assert!(covered_start <= bytes.start, "case {case}");
+        assert!(covered_end >= bytes.end, "case {case}");
         // And wastes less than one chunk on each side.
-        prop_assert!(bytes.start - covered_start < k.bytes());
-        prop_assert!(covered_end - bytes.end < k.bytes());
-    }
+        assert!(bytes.start - covered_start < k.bytes(), "case {case}");
+        assert!(covered_end - bytes.end < k.bytes(), "case {case}");
+    });
+}
 
-    #[test]
-    fn chunk_count_identities(start in 0u64..10_000, len in 1u64..100_000, k in 1u64..1_000) {
-        let k = ChunkSize::new(k).expect("non-zero");
+#[test]
+fn chunk_count_identities() {
+    for_each_case(|rng, case| {
+        let start = rng.range(0, 10_000);
+        let len = rng.range(1, 100_000);
+        let k = ChunkSize::new(rng.range(1, 1_000)).expect("non-zero");
         let r = Request::new(
             VideoId(1),
             ByteRange::new(start, start + len - 1).expect("valid"),
@@ -41,83 +87,126 @@ proptest! {
         // A request of `len` bytes touches between ceil(len/K) and
         // ceil(len/K)+1 chunks (misalignment adds at most one).
         let lower = len.div_ceil(k.bytes());
-        prop_assert!(n >= lower);
-        prop_assert!(n <= lower + 1);
-        prop_assert_eq!(r.byte_len(), len);
-    }
+        assert!(n >= lower, "case {case}");
+        assert!(n <= lower + 1, "case {case}");
+        assert_eq!(r.byte_len(), len, "case {case}");
+    });
+}
 
-    #[test]
-    fn chunk_range_len_matches_iteration(s in 0u32..1000, extra in 0u32..100) {
+#[test]
+fn chunk_range_len_matches_iteration() {
+    for_each_case(|rng, case| {
+        let s = rng.range(0, 1000) as u32;
+        let extra = rng.range(0, 100) as u32;
         let r = ChunkRange::new(s, s + extra).expect("valid");
-        prop_assert_eq!(r.len() as usize, r.iter().count());
-        prop_assert!(r.iter().all(|c| r.contains(c)));
-    }
+        assert_eq!(r.len() as usize, r.iter().count(), "case {case}");
+        assert!(r.iter().all(|c| r.contains(c)), "case {case}");
+    });
+}
 
-    #[test]
-    fn cost_model_normalisation(alpha in 0.01f64..100.0) {
+#[test]
+fn cost_model_normalisation() {
+    for_each_case(|rng, case| {
+        let alpha = rng.f64_range(0.01, 100.0);
         let m = CostModel::from_alpha(alpha).expect("valid alpha");
-        prop_assert!((m.c_f() + m.c_r() - 2.0).abs() < 1e-9);
-        prop_assert!((m.c_f() / m.c_r() - alpha).abs() < alpha * 1e-9 + 1e-9);
-        prop_assert!(m.min_cost() <= m.c_f() + 1e-12);
-        prop_assert!(m.min_cost() <= m.c_r() + 1e-12);
-        prop_assert!(m.c_f() > 0.0 && m.c_r() > 0.0);
-    }
+        assert!((m.c_f() + m.c_r() - 2.0).abs() < 1e-9, "case {case}");
+        assert!(
+            (m.c_f() / m.c_r() - alpha).abs() < alpha * 1e-9 + 1e-9,
+            "case {case}"
+        );
+        assert!(m.min_cost() <= m.c_f() + 1e-12, "case {case}");
+        assert!(m.min_cost() <= m.c_r() + 1e-12, "case {case}");
+        assert!(m.c_f() > 0.0 && m.c_r() > 0.0, "case {case}");
+    });
+}
 
-    #[test]
-    fn efficiency_bounds_and_identity(
-        hit in 0u64..1_000_000,
-        fill in 0u64..1_000_000,
-        redirect in 0u64..1_000_000,
-        alpha in 0.05f64..20.0,
-    ) {
+#[test]
+fn efficiency_bounds_and_identity() {
+    for_each_case(|rng, case| {
+        let hit = rng.range(0, 1_000_000);
+        let fill = rng.range(0, 1_000_000);
+        let redirect = rng.range(0, 1_000_000);
+        let alpha = rng.f64_range(0.05, 20.0);
         let mut t = TrafficCounter::default();
         t.record_hit(hit);
         t.record_fill(fill);
         t.record_redirect(redirect);
         let m = CostModel::from_alpha(alpha).expect("valid alpha");
         let e = t.efficiency(m);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "eff {e}");
-        prop_assert_eq!(t.requested_bytes(), hit + fill + redirect);
-        prop_assert_eq!(t.served_bytes(), hit + fill);
+        assert!(
+            (-1.0 - 1e-9..=1.0 + 1e-9).contains(&e),
+            "case {case}: eff {e}"
+        );
+        assert_eq!(t.requested_bytes(), hit + fill + redirect, "case {case}");
+        assert_eq!(t.served_bytes(), hit + fill, "case {case}");
         // All-hit traffic has efficiency exactly 1.
         if fill == 0 && redirect == 0 && hit > 0 {
-            prop_assert!((e - 1.0).abs() < 1e-12);
+            assert!((e - 1.0).abs() < 1e-12, "case {case}");
         }
         // Efficiency decomposes: 1 - fill_frac*C_F - red_frac*C_R.
         if t.requested_bytes() > 0 {
             let total = t.requested_bytes() as f64;
-            let expect = 1.0
-                - fill as f64 / total * m.c_f()
-                - redirect as f64 / total * m.c_r();
-            prop_assert!((e - expect).abs() < 1e-12);
+            let expect = 1.0 - fill as f64 / total * m.c_f() - redirect as f64 / total * m.c_r();
+            assert!((e - expect).abs() < 1e-12, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn traffic_counter_addition_is_fieldwise(
-        a in (0u64..1000, 0u64..1000, 0u64..1000),
-        b in (0u64..1000, 0u64..1000, 0u64..1000),
-    ) {
-        let mk = |(h, f, r): (u64, u64, u64)| {
+#[test]
+fn traffic_counter_addition_is_fieldwise() {
+    for_each_case(|rng, case| {
+        let mk = |rng: &mut TestRng| {
             let mut t = TrafficCounter::default();
-            t.record_hit(h);
-            t.record_fill(f);
-            t.record_redirect(r);
+            t.record_hit(rng.range(0, 1000));
+            t.record_fill(rng.range(0, 1000));
+            t.record_redirect(rng.range(0, 1000));
             t
         };
-        let (ta, tb) = (mk(a), mk(b));
+        let (ta, tb) = (mk(rng), mk(rng));
         let sum = ta + tb;
-        prop_assert_eq!(sum.hit_bytes, ta.hit_bytes + tb.hit_bytes);
-        prop_assert_eq!(sum.requested_bytes(), ta.requested_bytes() + tb.requested_bytes());
-    }
+        assert_eq!(sum.hit_bytes, ta.hit_bytes + tb.hit_bytes, "case {case}");
+        assert_eq!(
+            sum.requested_bytes(),
+            ta.requested_bytes() + tb.requested_bytes(),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn timestamp_arithmetic_is_consistent(a in 0u64..u64::MAX / 2, d in 0u64..1_000_000) {
-        use vcdn_types::DurationMs;
+#[test]
+fn timestamp_arithmetic_is_consistent() {
+    for_each_case(|rng, case| {
+        let a = rng.range(0, u64::MAX / 2);
+        let d = rng.range(0, 1_000_000);
         let t = Timestamp(a);
         let later = t + DurationMs(d);
-        prop_assert_eq!(later - t, DurationMs(d));
-        prop_assert_eq!(t - later, DurationMs::ZERO);
-        prop_assert!(later >= t);
-    }
+        assert_eq!(later - t, DurationMs(d), "case {case}");
+        assert_eq!(t - later, DurationMs::ZERO, "case {case}");
+        assert!(later >= t, "case {case}");
+    });
+}
+
+#[test]
+fn json_roundtrips_arbitrary_values() {
+    use vcdn_types::json;
+    for_each_case(|rng, case| {
+        let r = Request::new(
+            VideoId(rng.next()),
+            ByteRange::new(0, rng.range(1, 1 << 40)).expect("valid"),
+            Timestamp(rng.range(0, 1 << 45)),
+        );
+        let back: Request = json::from_str(&json::to_string(&r)).expect("parses");
+        assert_eq!(back, r, "case {case}");
+
+        let mut t = TrafficCounter::default();
+        t.record_hit(rng.next() >> 8);
+        t.record_fill(rng.next() >> 8);
+        t.record_redirect(rng.next() >> 8);
+        let back: TrafficCounter = json::from_str(&json::to_string(&t)).expect("parses");
+        assert_eq!(back, t, "case {case}");
+
+        let m = CostModel::from_alpha(rng.f64_range(0.01, 50.0)).expect("valid");
+        let back: CostModel = json::from_str(&json::to_string(&m)).expect("parses");
+        assert_eq!(back, m, "case {case}");
+    });
 }

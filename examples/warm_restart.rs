@@ -36,14 +36,14 @@ fn main() {
 
     // The upgraded server: snapshot -> serialize -> restore.
     let snapshot = reference.snapshot();
-    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    let json = vcdn::types::json::to_string(&snapshot);
     println!(
         "snapshot: {} cached chunks, {} popularity records, {} bytes of JSON",
         snapshot.disk.len(),
         snapshot.iat.len(),
         json.len()
     );
-    let parsed = serde_json::from_str(&json).expect("snapshot parses");
+    let parsed = vcdn::types::json::from_str(&json).expect("snapshot parses");
     let mut restored = CafeCache::restore(&parsed).expect("snapshot restores");
 
     // Both servers finish the workload; decisions must match exactly.

@@ -224,16 +224,15 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
                 Some(p) => {
                     let json =
                         std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
-                    let snap =
-                        serde_json::from_str(&json).map_err(|e| format!("parse snapshot: {e}"))?;
+                    let snap = vcdn::types::json::from_str(&json)
+                        .map_err(|e| format!("parse snapshot: {e}"))?;
                     CafeCache::restore(&snap).map_err(|e| e.to_string())?
                 }
                 None => CafeCache::new(CafeConfig::new(disk_chunks, k, costs)),
             };
             let report = replayer.replay(&trace, &mut cache);
             if let Some(p) = &save_state {
-                let json = serde_json::to_string(&cache.snapshot())
-                    .map_err(|e| format!("serialize snapshot: {e}"))?;
+                let json = vcdn::types::json::to_string(&cache.snapshot());
                 std::fs::write(p, json).map_err(|e| format!("{}: {e}", p.display()))?;
             }
             report
@@ -243,16 +242,15 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
                 Some(p) => {
                     let json =
                         std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
-                    let snap =
-                        serde_json::from_str(&json).map_err(|e| format!("parse snapshot: {e}"))?;
+                    let snap = vcdn::types::json::from_str(&json)
+                        .map_err(|e| format!("parse snapshot: {e}"))?;
                     XlruCache::restore(&snap).map_err(|e| e.to_string())?
                 }
                 None => XlruCache::new(cache_cfg),
             };
             let report = replayer.replay(&trace, &mut cache);
             if let Some(p) = &save_state {
-                let json = serde_json::to_string(&cache.snapshot())
-                    .map_err(|e| format!("serialize snapshot: {e}"))?;
+                let json = vcdn::types::json::to_string(&cache.snapshot());
                 std::fs::write(p, json).map_err(|e| format!("{}: {e}", p.display()))?;
             }
             report
