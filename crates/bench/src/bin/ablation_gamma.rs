@@ -34,7 +34,7 @@ fn main() {
             let trace = &trace;
             Cell::new(format!("gamma={gamma}"), move || {
                 let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_gamma(gamma));
-                Replayer::new(ReplayConfig::new(k, costs)).replay(trace, &mut cache)
+                Replayer::new(ReplayConfig::bench(k, costs)).replay(trace, &mut cache)
             })
         })
         .collect();

@@ -37,7 +37,7 @@ fn main() {
                     PsychicConfig::new(disk, k, costs).with_future_list_bound(n),
                     &trace.requests,
                 );
-                Replayer::new(ReplayConfig::new(k, costs)).replay(trace, &mut cache)
+                Replayer::new(ReplayConfig::bench(k, costs)).replay(trace, &mut cache)
             })
         })
         .collect();

@@ -38,7 +38,7 @@ fn main() {
                     let mut cache = CafeCache::new(
                         CafeConfig::new(disk, k, costs).with_unseen_chunk_estimate(estimate),
                     );
-                    Replayer::new(ReplayConfig::new(k, costs))
+                    Replayer::new(ReplayConfig::bench(k, costs))
                         .replay(trace, &mut cache)
                         .efficiency()
                 })

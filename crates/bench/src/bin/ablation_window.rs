@@ -53,7 +53,7 @@ fn main() {
             let window = *window;
             Cell::new(name.clone(), move || {
                 let mut cache = CafeCache::new(CafeConfig::new(disk, k, costs).with_window(window));
-                Replayer::new(ReplayConfig::new(k, costs)).replay(trace, &mut cache)
+                Replayer::new(ReplayConfig::bench(k, costs)).replay(trace, &mut cache)
             })
         })
         .collect();

@@ -24,7 +24,7 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("ext E1: {} requests, disk={disk}", trace.len());
 
-    let replayer = Replayer::new(ReplayConfig::new(k, base));
+    let replayer = Replayer::new(ReplayConfig::bench(k, base));
     let mut table = Table::new(vec![
         "variant",
         "efficiency",

@@ -26,7 +26,7 @@ fn main() {
     let trace = trace_for(ServerProfile::europe(), scale, days);
     eprintln!("ext E2: {} requests, disk={disk}", trace.len());
 
-    let replayer = Replayer::new(ReplayConfig::new(k, costs));
+    let replayer = Replayer::new(ReplayConfig::bench(k, costs));
     let mut table = Table::new(vec![
         "variant",
         "efficiency",

@@ -87,7 +87,7 @@ fn main() {
             let disk = disk_chunks_for_fraction(&trace, k, 5.0).max(2 * max_request_chunks);
             // Psychic needs no warm-up (§9.1): measure the full replay.
             let mut cache = PsychicCache::new(PsychicConfig::new(disk, k, costs), &trace.requests);
-            let report = Replayer::new(ReplayConfig::new(k, costs).with_steady_after(0.0))
+            let report = Replayer::new(ReplayConfig::bench(k, costs).with_steady_after(0.0))
                 .replay(&trace, &mut cache);
             let psychic_eff = report.efficiency();
             let bound = match lp_bound_reduced(&trace.requests, &CacheConfig::new(disk, k, costs)) {

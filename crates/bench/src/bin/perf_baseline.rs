@@ -1,0 +1,208 @@
+//! Tracked throughput baseline: replays the standard generated workload
+//! through all four policies (LRU, xLRU, Cafe, Psychic) single-threaded,
+//! reporting simulated requests/sec and steady-state efficiency per
+//! policy, and writes the result as JSON (`BENCH_PR2.json` by default) so
+//! the repo carries a measured perf trajectory from PR 2 onward.
+//!
+//! Replay *metrics* (byte counters, efficiency) are deterministic; only
+//! the timing fields vary across machines. `--check <file>` re-verifies
+//! the deterministic fields against a previously written JSON — the CI
+//! perf smoke job uses it to pin the replay outputs while still uploading
+//! fresh timing numbers as an artifact.
+//!
+//! Flags: `--scale <f>` (default 1/16), `--days <n>` (default 30),
+//! `--reps <n>` timed replays per policy, best-of (default 3),
+//! `--out <path>` (default `BENCH_PR2.json`), `--check <path>`.
+
+use std::time::Instant;
+
+use vcdn_bench::{arg_flag, trace_for, Algo, Scale, EXPERIMENT_SEED, PAPER_DISK_BYTES};
+use vcdn_sim::report::{eff, Table};
+use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
+use vcdn_trace::ServerProfile;
+use vcdn_types::json::Json;
+use vcdn_types::{ChunkSize, CostModel};
+
+/// One policy's measured row.
+struct PolicyPerf {
+    report: ReplayReport,
+    best_secs: f64,
+}
+
+fn json_of(scale: f64, days: u64, requests: u64, rows: &[PolicyPerf]) -> Json {
+    let policies = rows
+        .iter()
+        .map(|p| {
+            let t = &p.report.steady;
+            Json::Obj(vec![
+                ("policy".into(), Json::Str(p.report.policy.into())),
+                (
+                    "requests_per_sec".into(),
+                    Json::Float(requests as f64 / p.best_secs),
+                ),
+                ("replay_wall_ms".into(), Json::Float(p.best_secs * 1_000.0)),
+                (
+                    "efficiency_steady".into(),
+                    Json::Float(p.report.efficiency()),
+                ),
+                ("steady_hit_bytes".into(), Json::Int(t.hit_bytes as i128)),
+                ("steady_fill_bytes".into(), Json::Int(t.fill_bytes as i128)),
+                (
+                    "steady_redirect_bytes".into(),
+                    Json::Int(t.redirect_bytes as i128),
+                ),
+                (
+                    "overall_hit_bytes".into(),
+                    Json::Int(p.report.overall.hit_bytes as i128),
+                ),
+                (
+                    "overall_fill_bytes".into(),
+                    Json::Int(p.report.overall.fill_bytes as i128),
+                ),
+                (
+                    "overall_redirect_bytes".into(),
+                    Json::Int(p.report.overall.redirect_bytes as i128),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("bench".into(), Json::Str("perf_baseline".into())),
+        ("seed".into(), Json::Int(EXPERIMENT_SEED as i128)),
+        ("scale".into(), Json::Float(scale)),
+        ("days".into(), Json::Int(days as i128)),
+        ("alpha".into(), Json::Float(2.0)),
+        ("requests".into(), Json::Int(requests as i128)),
+        ("policies".into(), Json::Arr(policies)),
+    ])
+}
+
+/// Compares every deterministic field of `got` against `want`, ignoring
+/// the machine-dependent timing fields. Returns the mismatch messages.
+fn check_against(got: &Json, want: &Json) -> Vec<String> {
+    const TIMING: [&str; 2] = ["requests_per_sec", "replay_wall_ms"];
+    let mut errs = Vec::new();
+    for key in ["bench", "seed", "scale", "days", "alpha", "requests"] {
+        if got.get(key) != want.get(key) {
+            errs.push(format!(
+                "{key}: got {:?}, want {:?}",
+                got.get(key),
+                want.get(key)
+            ));
+        }
+    }
+    let (Some(Json::Arr(g)), Some(Json::Arr(w))) = (got.get("policies"), want.get("policies"))
+    else {
+        errs.push("policies: missing or not an array".into());
+        return errs;
+    };
+    if g.len() != w.len() {
+        errs.push(format!("policies: got {} rows, want {}", g.len(), w.len()));
+        return errs;
+    }
+    for (gp, wp) in g.iter().zip(w) {
+        let name = gp
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let (Json::Obj(gf), Json::Obj(wf)) = (gp, wp) else {
+            errs.push(format!("{name}: row is not an object"));
+            continue;
+        };
+        for (key, wv) in wf {
+            if TIMING.contains(&key.as_str()) {
+                continue;
+            }
+            let gv = gf.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            if gv != Some(wv) {
+                errs.push(format!("{name}.{key}: got {gv:?}, want {wv:?}"));
+            }
+        }
+    }
+    errs
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let days: u64 = arg_flag("days").unwrap_or(30);
+    let reps: u32 = arg_flag("reps").unwrap_or(3).max(1);
+    let out: String = arg_flag("out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let check: Option<String> = arg_flag("check");
+
+    let k = ChunkSize::DEFAULT;
+    let disk = scale.disk_chunks(PAPER_DISK_BYTES, k);
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+    eprintln!(
+        "[perf_baseline] scale={} days={days} disk={disk} chunks, alpha=2, reps={reps}",
+        scale.0
+    );
+    let t0 = Instant::now();
+    let trace = trace_for(ServerProfile::europe(), scale, days);
+    let requests = trace.len() as u64;
+    eprintln!(
+        "[perf_baseline] trace: {requests} requests ({:.2?})",
+        t0.elapsed()
+    );
+
+    // Bench-mode replay: per-request invariant checks off (the test suite
+    // keeps them on); single-threaded so requests/sec is a clean per-core
+    // number.
+    let replayer = Replayer::new(ReplayConfig::bench(k, costs));
+    let mut rows = Vec::new();
+    for algo in [Algo::Lru, Algo::Xlru, Algo::Cafe, Algo::Psychic] {
+        let mut best_secs = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..reps {
+            let mut policy = algo.build(&trace, disk, k, costs);
+            let t0 = Instant::now();
+            let r = replayer.replay(&trace, policy.as_mut());
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+            if let Some(prev) = &report {
+                assert_eq!(prev, &r, "{}: replay is not deterministic", algo.name());
+            }
+            report = Some(r);
+        }
+        let report = report.expect("reps >= 1");
+        eprintln!(
+            "[perf_baseline] {:<8} {:>10.0} req/s  efficiency {:.4}",
+            report.policy,
+            requests as f64 / best_secs,
+            report.efficiency()
+        );
+        rows.push(PolicyPerf { report, best_secs });
+    }
+
+    let mut table = Table::new(vec!["policy", "req/s", "efficiency", "steady bytes h/f/r"]);
+    for p in &rows {
+        let t = &p.report.steady;
+        table.row(vec![
+            p.report.policy.to_string(),
+            format!("{:.0}", requests as f64 / p.best_secs),
+            eff(p.report.efficiency()),
+            format!("{}/{}/{}", t.hit_bytes, t.fill_bytes, t.redirect_bytes),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = json_of(scale.0, days, requests, &rows);
+    if let Some(golden_path) = check {
+        let want_text = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("cannot read golden {golden_path}: {e}"));
+        let want = vcdn_types::json::parse(&want_text)
+            .unwrap_or_else(|e| panic!("cannot parse golden {golden_path}: {e}"));
+        let errs = check_against(&json, &want);
+        if !errs.is_empty() {
+            for e in &errs {
+                eprintln!("[perf_baseline] MISMATCH {e}");
+            }
+            panic!(
+                "replay metrics diverge from pinned goldens in {golden_path} ({} mismatches)",
+                errs.len()
+            );
+        }
+        eprintln!("[perf_baseline] metrics match pinned goldens in {golden_path}");
+    }
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("[perf_baseline] wrote {out}");
+}

@@ -64,7 +64,7 @@ fn main() {
                 let costs = CostModel::from_alpha(alpha).expect("valid alpha");
                 Cell::new(format!("alpha={alpha} policy {i}"), move || {
                     let mut policy = build(CacheConfig::new(disk, k, costs));
-                    Replayer::new(ReplayConfig::new(k, costs)).replay(trace, policy.as_mut())
+                    Replayer::new(ReplayConfig::bench(k, costs)).replay(trace, policy.as_mut())
                 })
             })
         })

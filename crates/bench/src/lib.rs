@@ -151,7 +151,7 @@ pub fn run_algo(
     costs: CostModel,
 ) -> ReplayReport {
     let mut policy = algo.build(trace, disk_chunks, k, costs);
-    Replayer::new(ReplayConfig::new(k, costs)).replay(trace, policy.as_mut())
+    Replayer::new(ReplayConfig::bench(k, costs)).replay(trace, policy.as_mut())
 }
 
 /// Replays `trace` through xLRU, Cafe and Psychic (figure order) via the

@@ -17,9 +17,9 @@
 //! and uniform fetch cost its priority `H = L + cost/size` degenerates to
 //! (aged) LRU.
 
-use std::collections::HashMap;
-
-use vcdn_types::{ChunkId, ChunkSize, CostModel, Decision, Request, ServeOutcome, Timestamp};
+use vcdn_types::{
+    ChunkId, ChunkSize, CostModel, Decision, FastMap, Request, ServeOutcome, Timestamp,
+};
 
 use crate::{
     ds::KeyedSet,
@@ -49,8 +49,10 @@ pub struct LfuCache {
     /// Cached chunks keyed by `count · SCALE + recency-fraction` so equal
     /// counts break toward evicting the least recently used.
     disk: KeyedSet<ChunkId>,
-    counts: HashMap<ChunkId, u64>,
-    last_access: HashMap<ChunkId, Timestamp>,
+    counts: FastMap<ChunkId, u64>,
+    last_access: FastMap<ChunkId, Timestamp>,
+    /// Reusable per-request buffer: the decide path allocates nothing.
+    scratch_missing: Vec<ChunkId>,
 }
 
 /// Key layout: frequency dominates, recency (ms, scaled tiny) breaks ties.
@@ -62,8 +64,9 @@ impl LfuCache {
         LfuCache {
             config,
             disk: KeyedSet::new(),
-            counts: HashMap::new(),
-            last_access: HashMap::new(),
+            counts: FastMap::default(),
+            last_access: FastMap::default(),
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -89,7 +92,8 @@ impl CachePolicy for LfuCache {
         let k = self.config.chunk_size;
         let range = request.chunk_range(k);
         let mut hit = 0u64;
-        let mut missing: Vec<ChunkId> = Vec::new();
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        missing.clear();
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
             if self.disk.contains(&id) {
@@ -120,9 +124,11 @@ impl CachePolicy for LfuCache {
             self.last_access.insert(*id, now);
             self.disk.insert(*id, Self::key(1, now));
         }
+        let filled = missing.len() as u64;
+        self.scratch_missing = missing;
         Decision::Serve(ServeOutcome {
             hit_chunks: hit,
-            filled_chunks: missing.len() as u64,
+            filled_chunks: filled,
             evicted,
         })
     }
@@ -166,7 +172,9 @@ pub struct LruKCache {
     /// strongly negative key when history is shorter than K).
     disk: KeyedSet<ChunkId>,
     /// Most recent accesses per cached chunk, newest first, length ≤ K.
-    history: HashMap<ChunkId, Vec<Timestamp>>,
+    history: FastMap<ChunkId, Vec<Timestamp>>,
+    /// Reusable per-request buffer: the decide path allocates nothing.
+    scratch_missing: Vec<ChunkId>,
 }
 
 impl LruKCache {
@@ -181,7 +189,8 @@ impl LruKCache {
             config,
             k_history,
             disk: KeyedSet::new(),
-            history: HashMap::new(),
+            history: FastMap::default(),
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -223,7 +232,8 @@ impl CachePolicy for LruKCache {
         let k = self.config.chunk_size;
         let range = request.chunk_range(k);
         let mut hit = 0u64;
-        let mut missing: Vec<ChunkId> = Vec::new();
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        missing.clear();
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
             if self.disk.contains(&id) {
@@ -249,9 +259,11 @@ impl CachePolicy for LruKCache {
             }
             self.touch(*id, now);
         }
+        let filled = missing.len() as u64;
+        self.scratch_missing = missing;
         Decision::Serve(ServeOutcome {
             hit_chunks: hit,
-            filled_chunks: missing.len() as u64,
+            filled_chunks: filled,
             evicted,
         })
     }
@@ -427,9 +439,11 @@ mod tests {
 pub struct GdspCache {
     config: CacheConfig,
     disk: KeyedSet<ChunkId>,
-    counts: HashMap<ChunkId, u64>,
+    counts: FastMap<ChunkId, u64>,
     /// Inflation value: priority of the most recent eviction.
     inflation: f64,
+    /// Reusable per-request buffer: the decide path allocates nothing.
+    scratch_missing: Vec<ChunkId>,
 }
 
 impl GdspCache {
@@ -438,8 +452,9 @@ impl GdspCache {
         GdspCache {
             config,
             disk: KeyedSet::new(),
-            counts: HashMap::new(),
+            counts: FastMap::default(),
             inflation: 0.0,
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -461,7 +476,8 @@ impl CachePolicy for GdspCache {
         let k = self.config.chunk_size;
         let range = request.chunk_range(k);
         let mut hit = 0u64;
-        let mut missing: Vec<ChunkId> = Vec::new();
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        missing.clear();
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
             if self.disk.contains(&id) {
@@ -490,9 +506,11 @@ impl CachePolicy for GdspCache {
             self.counts.remove(id);
             self.touch(*id);
         }
+        let filled = missing.len() as u64;
+        self.scratch_missing = missing;
         Decision::Serve(ServeOutcome {
             hit_chunks: hit,
-            filled_chunks: missing.len() as u64,
+            filled_chunks: filled,
             evicted,
         })
     }

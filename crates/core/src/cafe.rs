@@ -20,10 +20,9 @@
 //! partially cached video as the largest IAT among that video's cached
 //! chunks — is implemented and can be toggled for ablation.
 
-use std::collections::{BTreeSet, HashMap};
-
 use vcdn_types::{
-    ChunkId, ChunkSize, CostModel, Decision, DurationMs, Request, ServeOutcome, Timestamp, VideoId,
+    ChunkId, ChunkSize, CostModel, Decision, DurationMs, FastMap, FastSet, Request, ServeOutcome,
+    Timestamp, VideoId,
 };
 
 use crate::{
@@ -143,6 +142,18 @@ impl IatState {
         let iat = self.iat_at(t, gamma).unwrap_or(fallback_iat);
         t.as_millis() as f64 - iat
     }
+
+    /// Rank key for the uncached-chunk mirror: by the Theorem 1 algebra,
+    /// `IAT_x(t) − IAT_y(t) = −γ(t_x − t_y) + (1−γ)(dt_x − dt_y)` is
+    /// constant in `t`, so sorting ascending by
+    /// `((1−γ)/γ)·dt_x − t_x = IAT_x(t)/γ − t` (a per-chunk constant up to
+    /// the shared `−t` term) reproduces ascending-IAT order at any common
+    /// evaluation time — without re-keying on the clock. `None` until an
+    /// interval is known (no IAT ⇒ not a prefetch candidate).
+    fn hot_rank(&self, gamma: f64) -> Option<f64> {
+        self.dt
+            .map(|dt| (1.0 - gamma) / gamma * dt - self.t_last.as_millis() as f64)
+    }
 }
 
 /// The Cafe cache.
@@ -163,15 +174,23 @@ impl IatState {
 pub struct CafeCache {
     config: CafeConfig,
     /// EWMA popularity state for every recently seen chunk (cached or not).
-    iat: HashMap<ChunkId, IatState>,
+    iat: FastMap<ChunkId, IatState>,
     /// Video-level last-seen tracker (drives the never-seen-video rule).
-    video_seen: HashMap<VideoId, Timestamp>,
+    video_seen: FastMap<VideoId, Timestamp>,
     /// Cached chunks ordered by virtual timestamp (Eq. 9).
     disk: KeyedSet<ChunkId>,
     /// Chunk indices cached per video (for the unseen-chunk estimate).
-    video_chunks: HashMap<VideoId, BTreeSet<u32>>,
+    video_chunks: FastMap<VideoId, FastSet<u32>>,
+    /// Tracked-but-uncached chunks ranked hottest-first (smallest
+    /// [`IatState::hot_rank`]); maintained only while the §10 prefetcher
+    /// has called [`Self::enable_hot_tracking`] — plain replay pays
+    /// nothing for it.
+    hot: Option<KeyedSet<ChunkId>>,
     handled: u64,
     replay_start: Option<Timestamp>,
+    /// Reusable per-request buffers: the decide path allocates nothing.
+    scratch_present: Vec<ChunkId>,
+    scratch_missing: Vec<ChunkId>,
 }
 
 impl CafeCache {
@@ -179,12 +198,15 @@ impl CafeCache {
     pub fn new(config: CafeConfig) -> Self {
         CafeCache {
             config,
-            iat: HashMap::new(),
-            video_seen: HashMap::new(),
+            iat: FastMap::default(),
+            video_seen: FastMap::default(),
             disk: KeyedSet::new(),
-            video_chunks: HashMap::new(),
+            video_chunks: FastMap::default(),
+            hot: None,
             handled: 0,
             replay_start: None,
+            scratch_present: Vec::new(),
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -240,6 +262,16 @@ impl CafeCache {
 
     fn remove_chunk(&mut self, id: ChunkId) {
         self.disk.remove(&id);
+        if let Some(hot) = &mut self.hot {
+            // Still tracked by the popularity table: becomes a candidate.
+            if let Some(rank) = self
+                .iat
+                .get(&id)
+                .and_then(|s| s.hot_rank(self.config.gamma))
+            {
+                hot.insert(id, rank);
+            }
+        }
         if let Some(set) = self.video_chunks.get_mut(&id.video) {
             set.remove(&id.index);
             if set.is_empty() {
@@ -250,6 +282,9 @@ impl CafeCache {
 
     fn insert_chunk(&mut self, id: ChunkId, key: f64) {
         self.disk.insert(id, key);
+        if let Some(hot) = &mut self.hot {
+            hot.remove(&id);
+        }
         self.video_chunks
             .entry(id.video)
             .or_default()
@@ -270,6 +305,28 @@ impl CafeCache {
         let video_chunks = &self.video_chunks;
         self.video_seen
             .retain(|v, t| video_chunks.contains_key(v) || *t >= cutoff);
+        if self.hot.is_some() {
+            // Rebuild rather than diff the retained set; sweeps are rare.
+            self.enable_hot_tracking();
+        }
+    }
+
+    /// Turns on incremental maintenance of the hot uncached-chunk mirror,
+    /// making [`Self::prefetch_candidates`] O(n log N) in the candidate
+    /// count instead of a scan-and-sort of the whole popularity table.
+    /// Used by [`crate::prefetch::ProactiveCafeCache`], which polls for
+    /// candidates every tick.
+    pub fn enable_hot_tracking(&mut self) {
+        let gamma = self.config.gamma;
+        let mut hot = KeyedSet::new();
+        for (id, st) in &self.iat {
+            if !self.disk.contains(id) {
+                if let Some(rank) = st.hot_rank(gamma) {
+                    hot.insert(*id, rank);
+                }
+            }
+        }
+        self.hot = Some(hot);
     }
 
     /// Number of chunk popularity records currently held (for tests).
@@ -277,14 +334,16 @@ impl CafeCache {
         self.iat.len()
     }
 
-    /// Popularity entries sorted by chunk id (snapshot support).
+    /// Popularity entries sorted by chunk id (snapshot support). Keys are
+    /// unique, so the unstable sort is deterministic without the stable
+    /// sort's temporary buffer.
     pub(crate) fn iat_entries(&self) -> Vec<(ChunkId, Option<f64>, Timestamp)> {
         let mut v: Vec<(ChunkId, Option<f64>, Timestamp)> = self
             .iat
             .iter()
             .map(|(id, st)| (*id, st.dt, st.t_last))
             .collect();
-        v.sort_by_key(|(id, _, _)| *id);
+        v.sort_unstable_by_key(|(id, _, _)| *id);
         v
     }
 
@@ -292,7 +351,7 @@ impl CafeCache {
     pub(crate) fn video_seen_entries(&self) -> Vec<(VideoId, Timestamp)> {
         let mut v: Vec<(VideoId, Timestamp)> =
             self.video_seen.iter().map(|(id, t)| (*id, *t)).collect();
-        v.sort_by_key(|(id, _)| *id);
+        v.sort_unstable_by_key(|(id, _)| *id);
         v
     }
 
@@ -354,17 +413,32 @@ impl CafeCache {
 
     /// The hottest tracked-but-uncached chunks: prefetch candidates for
     /// the §10 "proactive caching" extension, ordered by ascending
-    /// inter-arrival time (hottest first). Scans the popularity table —
-    /// call this once per control window, not per request.
+    /// inter-arrival time (hottest first). With
+    /// [`Self::enable_hot_tracking`] on, reads the incrementally
+    /// maintained mirror in O(n log N); otherwise scans and sorts the
+    /// whole popularity table — in that mode call it once per control
+    /// window, not per request. (The two paths can order differently only
+    /// on exact rank ties or when IATs clamp at the 1 ms floor.)
     pub fn prefetch_candidates(&self, n: usize, now: Timestamp) -> Vec<(ChunkId, f64)> {
         let gamma = self.config.gamma;
+        if let Some(hot) = &self.hot {
+            return hot
+                .iter_smallest_excluding(n, |_| false)
+                .map(|(id, _)| {
+                    let iat = self.iat[&id]
+                        .iat_at(now, gamma)
+                        .expect("hot mirror entries have a known IAT");
+                    (id, iat)
+                })
+                .collect();
+        }
         let mut hot: Vec<(ChunkId, f64)> = self
             .iat
             .iter()
             .filter(|(id, _)| !self.disk.contains(id))
             .filter_map(|(id, st)| st.iat_at(now, gamma).map(|iat| (*id, iat)))
             .collect();
-        hot.sort_by(|a, b| {
+        hot.sort_unstable_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .expect("IATs are finite")
                 .then(a.0.cmp(&b.0))
@@ -419,42 +493,46 @@ impl CachePolicy for CafeCache {
             self.cleanup(now);
         }
 
-        let range = request.chunk_range(k);
-        let mut present: Vec<ChunkId> = Vec::new();
-        let mut missing: Vec<ChunkId> = Vec::new();
-        for c in range.iter() {
-            let id = ChunkId::new(request.video, c);
-            if self.disk.contains(&id) {
-                present.push(id);
-            } else {
-                missing.push(id);
-            }
-        }
-        let s_total = (present.len() + missing.len()) as f64;
-
         let video_known = self.video_seen.contains_key(&request.video)
             || self.video_chunks.contains_key(&request.video);
-        let warmup = (self.disk.len() as u64) < capacity;
 
-        // Update popularity state for every requested chunk *before*
-        // deciding: like xLRU's Eq. 5, which scores a video by the current
-        // gap `t_now − t`, the arriving request is itself evidence — a
-        // chunk's second request immediately yields a usable IAT.
-        // (Demand is observed whether we end up serving or redirecting.)
+        // Classify, update popularity, and re-key in one pass. Updating
+        // *before* deciding mirrors xLRU's Eq. 5, which scores a video by
+        // the current gap `t_now − t`: the arriving request is itself
+        // evidence — a chunk's second request immediately yields a usable
+        // IAT, and demand is observed whether we serve or redirect. The
+        // per-chunk steps are independent (a chunk range never repeats an
+        // id, and re-keying a present chunk alters no other chunk's
+        // membership), so fusing the passes changes no outcome.
+        let mut present = std::mem::take(&mut self.scratch_present);
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        present.clear();
+        missing.clear();
+        let range = request.chunk_range(k);
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
-            self.iat
+            let state = self
+                .iat
                 .entry(id)
                 .and_modify(|s| s.update(now, gamma))
                 .or_insert_with(|| IatState::first_seen(now));
+            if self.disk.contains(&id) {
+                // Re-key to the refreshed virtual timestamp.
+                let key = state.key_at(now, gamma, 0.0);
+                self.disk.insert(id, key);
+                present.push(id);
+            } else {
+                if let Some(hot) = &mut self.hot {
+                    if let Some(rank) = state.hot_rank(gamma) {
+                        hot.insert(id, rank);
+                    }
+                }
+                missing.push(id);
+            }
         }
         self.video_seen.insert(request.video, now);
-
-        // Re-key present chunks to their refreshed virtual timestamps.
-        for id in &present {
-            let key = self.iat[id].key_at(now, gamma, 0.0);
-            self.disk.insert(*id, key);
-        }
+        let s_total = (present.len() + missing.len()) as f64;
+        let warmup = (self.disk.len() as u64) < capacity;
 
         let video_estimate = self.video_iat_estimate(request.video, now);
         let serve = if warmup {
@@ -468,16 +546,17 @@ impl CachePolicy for CafeCache {
             let t_window = self.window_ms(now);
             let evict_needed =
                 ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
-            let requested: BTreeSet<ChunkId> = present.iter().copied().collect();
-            let candidates = self
-                .disk
-                .smallest_excluding(evict_needed, |id| requested.contains(id));
             let min_cost = costs.min_cost();
 
             // Eq. 6: fill cost now + expected future cost of evictees.
+            // (Requested chunks are few: a linear `contains` beats
+            // building a set per request.)
             let mut e_serve = missing.len() as f64 * costs.c_f();
-            for (id, _) in &candidates {
-                let iat = self.iat.get(id).and_then(|s| s.iat_at(now, gamma));
+            for (id, _) in self
+                .disk
+                .iter_smallest_excluding(evict_needed, |id| present.contains(id))
+            {
+                let iat = self.iat.get(&id).and_then(|s| s.iat_at(now, gamma));
                 e_serve += Self::future_requests(t_window, iat) * min_cost;
             }
             // Eq. 7: redirect cost now + expected future cost of the
@@ -494,36 +573,40 @@ impl CachePolicy for CafeCache {
             e_serve <= e_redirect
         };
 
-        if !serve {
-            return Decision::Redirect;
-        }
-        let video_estimate_after = video_estimate;
-
-        // Evict, then fill. Requests larger than the disk keep their tail.
-        let evict_needed =
-            ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
-        let requested: BTreeSet<ChunkId> = present.iter().copied().collect();
-        let victims = self
-            .disk
-            .smallest_excluding(evict_needed, |id| requested.contains(id));
-        let mut evicted = Vec::with_capacity(victims.len());
-        for (id, _) in victims {
-            self.remove_chunk(id);
-            evicted.push(id);
-        }
-        let free = capacity - self.disk.len() as u64;
-        let keep_from = missing.len().saturating_sub(free as usize);
-        for id in &missing[keep_from..] {
-            let fallback = video_estimate_after.unwrap_or(0.0);
-            let key = self.iat[id].key_at(now, gamma, fallback);
-            self.insert_chunk(*id, key);
-        }
-
-        Decision::Serve(ServeOutcome {
-            hit_chunks: present.len() as u64,
-            filled_chunks: missing.len() as u64,
-            evicted,
-        })
+        let decision = if !serve {
+            Decision::Redirect
+        } else {
+            // Evict, then fill. Requests larger than the disk keep their
+            // tail.
+            let evict_needed =
+                ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
+            let mut evicted = Vec::new();
+            if evict_needed > 0 {
+                evicted.extend(
+                    self.disk
+                        .iter_smallest_excluding(evict_needed, |id| present.contains(id))
+                        .map(|(id, _)| id),
+                );
+                for &id in &evicted {
+                    self.remove_chunk(id);
+                }
+            }
+            let free = capacity - self.disk.len() as u64;
+            let keep_from = missing.len().saturating_sub(free as usize);
+            for id in &missing[keep_from..] {
+                let fallback = video_estimate.unwrap_or(0.0);
+                let key = self.iat[id].key_at(now, gamma, fallback);
+                self.insert_chunk(*id, key);
+            }
+            Decision::Serve(ServeOutcome {
+                hit_chunks: present.len() as u64,
+                filled_chunks: missing.len() as u64,
+                evicted,
+            })
+        };
+        self.scratch_present = present;
+        self.scratch_missing = missing;
+        decision
     }
 
     fn name(&self) -> &'static str {
@@ -843,5 +926,35 @@ mod tests {
             .with_window(WindowPolicy::Fixed(DurationMs::from_secs(9)));
         let c = CafeCache::new(cfg);
         assert!((c.window_ms(Timestamp(1_000_000)) - 9_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_mirror_agrees_with_scan_path() {
+        // Same request stream through two identical caches, one with the
+        // incremental hot mirror enabled, one on the scan-and-sort
+        // fallback. Inter-arrival gaps are seconds apart and distinct per
+        // video, so no rank ties and no 1 ms IAT-floor clamps — the two
+        // prefetch_candidates paths must agree exactly.
+        let mut scan = cache(4, 2.0);
+        let mut mirror = cache(4, 2.0);
+        mirror.enable_hot_tracking();
+        let mut t = 0u64;
+        for round in 1..6u64 {
+            for v in 0..12u64 {
+                // Distinct, video-dependent gaps: hotter for low IDs.
+                t += 1_000 + 137 * v + 11 * round;
+                let r = req(v, 0, 199, t);
+                scan.handle_request(&r);
+                mirror.handle_request(&r);
+            }
+            let now = Timestamp(t + 500);
+            let a = scan.prefetch_candidates(6, now);
+            let b = mirror.prefetch_candidates(6, now);
+            assert_eq!(a.len(), b.len());
+            for ((ida, iata), (idb, iatb)) in a.iter().zip(&b) {
+                assert_eq!(ida, idb, "round {round}: candidate order diverged");
+                assert!((iata - iatb).abs() < 1e-6, "round {round}: IAT diverged");
+            }
+        }
     }
 }

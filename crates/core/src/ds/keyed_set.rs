@@ -12,8 +12,10 @@
 //! Keys are `f64` virtual timestamps (`key_x = t − IAT_x(t)`, Eq. 9), which
 //! unlike xLRU's physical timestamps are *not* monotone across insertions.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::hash::Hash;
+
+use vcdn_types::FastMap;
 
 /// A totally ordered `f64` wrapper for use inside `BTreeSet`.
 ///
@@ -76,7 +78,7 @@ impl Ord for OrdF64 {
 #[derive(Debug, Clone, Default)]
 pub struct KeyedSet<T: Eq + Hash + Ord + Copy> {
     tree: BTreeSet<(OrdF64, T)>,
-    keys: HashMap<T, OrdF64>,
+    keys: FastMap<T, OrdF64>,
 }
 
 impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
@@ -84,7 +86,7 @@ impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
     pub fn new() -> Self {
         KeyedSet {
             tree: BTreeSet::new(),
-            keys: HashMap::new(),
+            keys: FastMap::default(),
         }
     }
 
@@ -162,30 +164,47 @@ impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
     /// The `n` smallest-key items that do not satisfy `exclude`, in
     /// ascending key order (fewer if the set runs out).
     pub fn smallest_excluding(&self, n: usize, exclude: impl Fn(&T) -> bool) -> Vec<(T, f64)> {
+        self.iter_smallest_excluding(n, exclude).collect()
+    }
+
+    /// Non-allocating form of [`Self::smallest_excluding`].
+    pub fn iter_smallest_excluding<'a>(
+        &'a self,
+        n: usize,
+        exclude: impl Fn(&T) -> bool + 'a,
+    ) -> impl Iterator<Item = (T, f64)> + 'a {
         self.tree
             .iter()
-            .filter(|(_, t)| !exclude(t))
+            .filter(move |(_, t)| !exclude(t))
             .take(n)
             .map(|(k, t)| (*t, k.get()))
-            .collect()
     }
 
     /// The `n` largest-key items that do not satisfy `exclude`, in
     /// descending key order (fewer if the set runs out).
     pub fn largest_excluding(&self, n: usize, exclude: impl Fn(&T) -> bool) -> Vec<(T, f64)> {
+        self.iter_largest_excluding(n, exclude).collect()
+    }
+
+    /// Non-allocating form of [`Self::largest_excluding`].
+    pub fn iter_largest_excluding<'a>(
+        &'a self,
+        n: usize,
+        exclude: impl Fn(&T) -> bool + 'a,
+    ) -> impl Iterator<Item = (T, f64)> + 'a {
         self.tree
             .iter()
             .rev()
-            .filter(|(_, t)| !exclude(t))
+            .filter(move |(_, t)| !exclude(t))
             .take(n)
             .map(|(k, t)| (*t, k.get()))
-            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn insert_lookup_remove() {

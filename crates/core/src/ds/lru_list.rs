@@ -11,10 +11,9 @@
 //! The list is arena-backed (indices into a `Vec`, with a free list) so
 //! entries never move and no unsafe pointer juggling is needed.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
-use vcdn_types::Timestamp;
+use vcdn_types::{FastMap, Timestamp};
 
 const NIL: u32 = u32::MAX;
 
@@ -51,7 +50,7 @@ struct Node<K> {
 pub struct IndexedLruList<K: Eq + Hash + Clone> {
     nodes: Vec<Node<K>>,
     free: Vec<u32>,
-    index: HashMap<K, u32>,
+    index: FastMap<K, u32>,
     head: u32,
     tail: u32,
 }
@@ -68,7 +67,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         IndexedLruList {
             nodes: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: FastMap::default(),
             head: NIL,
             tail: NIL,
         }

@@ -32,6 +32,8 @@ use crate::{
 pub struct LruCache {
     config: CacheConfig,
     disk: IndexedLruList<ChunkId>,
+    /// Reusable per-request buffer: the decide path allocates nothing.
+    scratch_missing: Vec<ChunkId>,
 }
 
 impl LruCache {
@@ -40,6 +42,7 @@ impl LruCache {
         LruCache {
             config,
             disk: IndexedLruList::new(),
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -57,7 +60,8 @@ impl CachePolicy for LruCache {
         let k = self.config.chunk_size;
         let range = request.chunk_range(k);
         let mut hit = 0u64;
-        let mut missing: Vec<ChunkId> = Vec::new();
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        missing.clear();
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
             if self.disk.contains(&id) {
@@ -86,6 +90,7 @@ impl CachePolicy for LruCache {
             }
             self.disk.touch(*id, request.t);
         }
+        self.scratch_missing = missing;
         Decision::Serve(ServeOutcome {
             hit_chunks: hit,
             filled_chunks: fill,

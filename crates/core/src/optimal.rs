@@ -22,8 +22,6 @@
 //! right-hand side, so the simplex solver starts from the all-slack basis
 //! and needs no phase 1.
 
-use std::collections::HashMap;
-
 use vcdn_lp::{LinearProgram, Relation, SolveError, VarId};
 use vcdn_types::{ChunkId, Request};
 
@@ -69,7 +67,7 @@ fn finish(
 /// Assigns dense indices to the unique chunks of a request sequence and
 /// lists each request's chunk indices.
 fn index_chunks(requests: &[Request], config: &CacheConfig) -> (usize, Vec<Vec<usize>>) {
-    let mut ids: HashMap<ChunkId, usize> = HashMap::new();
+    let mut ids: vcdn_types::FastMap<ChunkId, usize> = vcdn_types::FastMap::default();
     let mut per_request = Vec::with_capacity(requests.len());
     for r in requests {
         let mut v = Vec::new();

@@ -94,10 +94,13 @@ impl ProactiveCafeCache {
     /// # Panics
     ///
     /// Panics if `config` fails validation.
-    pub fn new(inner: CafeCache, config: PrefetchConfig) -> Self {
+    pub fn new(mut inner: CafeCache, config: PrefetchConfig) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid PrefetchConfig: {e}"));
+        // Candidates are polled every tick: keep them incrementally
+        // ordered instead of scan-sorting the popularity table each time.
+        inner.enable_hot_tracking();
         ProactiveCafeCache {
             inner,
             config,

@@ -19,10 +19,8 @@
 //! Being offline, Psychic must replay exactly the trace it was built from;
 //! this is asserted at run time.
 
-use std::collections::HashMap;
-
 use vcdn_types::{
-    ChunkId, ChunkSize, CostModel, Decision, Request, ServeOutcome, Timestamp, VideoId,
+    ChunkId, ChunkSize, CostModel, Decision, FastMap, Request, ServeOutcome, Timestamp, VideoId,
 };
 
 use crate::{
@@ -113,18 +111,21 @@ impl Schedule {
 #[derive(Debug, Clone)]
 pub struct PsychicCache {
     config: PsychicConfig,
-    schedules: HashMap<ChunkId, Schedule>,
+    schedules: FastMap<ChunkId, Schedule>,
     /// `(video, time)` per request, to assert the replayed trace matches.
     expected: Vec<(VideoId, Timestamp)>,
     seq: u32,
     /// Cached chunks keyed by next-occurrence sequence (∞ = never again);
     /// largest key = requested farthest in the future = first victim.
     disk: KeyedSet<ChunkId>,
-    insert_time: HashMap<ChunkId, Timestamp>,
+    insert_time: FastMap<ChunkId, Timestamp>,
     /// Cumulative mean residence time (ms) of evicted chunks.
     mean_residency_ms: f64,
     evictions: u64,
     replay_start: Option<Timestamp>,
+    /// Reusable per-request buffers: the decide path allocates nothing.
+    scratch_present: Vec<ChunkId>,
+    scratch_missing: Vec<ChunkId>,
 }
 
 impl PsychicCache {
@@ -140,7 +141,7 @@ impl PsychicCache {
             "requests must be time-ordered"
         );
         let k = config.cache.chunk_size;
-        let mut schedules: HashMap<ChunkId, Schedule> = HashMap::new();
+        let mut schedules: FastMap<ChunkId, Schedule> = FastMap::default();
         for (i, r) in requests.iter().enumerate() {
             for c in r.chunk_range(k).iter() {
                 schedules
@@ -156,10 +157,12 @@ impl PsychicCache {
             expected: requests.iter().map(|r| (r.video, r.t)).collect(),
             seq: 0,
             disk: KeyedSet::new(),
-            insert_time: HashMap::new(),
+            insert_time: FastMap::default(),
             mean_residency_ms: 0.0,
             evictions: 0,
             replay_start: None,
+            scratch_present: Vec::new(),
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -229,9 +232,11 @@ impl CachePolicy for PsychicCache {
         let n = self.future_list_bound();
 
         // Consume this request's occurrences: L_x must describe the future.
+        let mut present = std::mem::take(&mut self.scratch_present);
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        present.clear();
+        missing.clear();
         let range = request.chunk_range(k);
-        let mut present: Vec<ChunkId> = Vec::new();
-        let mut missing: Vec<ChunkId> = Vec::new();
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
             if let Some(s) = self.schedules.get_mut(&id) {
@@ -252,21 +257,21 @@ impl CachePolicy for PsychicCache {
         }
 
         let warmup = (self.disk.len() as u64) < capacity;
-        let requested: std::collections::BTreeSet<ChunkId> = present.iter().copied().collect();
         let serve = if warmup || missing.is_empty() {
             true
         } else {
             let t_window = self.cache_age_ms(now);
             let evict_needed =
                 ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
-            let candidates = self
-                .disk
-                .largest_excluding(evict_needed, |id| requested.contains(id));
             let min_cost = costs.min_cost();
-            // Eq. 13.
+            // Eq. 13. (Requested chunks are few: a linear `contains`
+            // beats building a set per request.)
             let mut e_serve = missing.len() as f64 * costs.c_f();
-            for (id, _) in &candidates {
-                e_serve += self.future_value(*id, now, t_window, n) * min_cost;
+            for (id, _) in self
+                .disk
+                .iter_largest_excluding(evict_needed, |id| present.contains(id))
+            {
+                e_serve += self.future_value(id, now, t_window, n) * min_cost;
             }
             // Eq. 14.
             let mut e_redirect = (present.len() + missing.len()) as f64 * costs.c_r();
@@ -276,37 +281,44 @@ impl CachePolicy for PsychicCache {
             e_serve <= e_redirect
         };
 
-        if !serve {
-            return Decision::Redirect;
-        }
-
-        // Evict the cached chunks requested farthest in the future (S''),
-        // then fill. Every filled chunk is genuinely stored — the §2 model
-        // fetches and stores chunks to serve them, so capacity is never
-        // exceeded even transiently (matching the IP's constraint 10f).
-        // Requests larger than the whole disk keep only their tail chunks.
-        let evict_needed =
-            ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
-        let victims = self
-            .disk
-            .largest_excluding(evict_needed, |id| requested.contains(id));
-        let mut evicted = Vec::with_capacity(victims.len());
-        for (v, _) in victims {
-            self.evict_chunk(v, now);
-            evicted.push(v);
-        }
-        let free = (capacity - self.disk.len() as u64) as usize;
-        let keep_from = missing.len().saturating_sub(free);
-        for id in &missing[keep_from..] {
-            let key = self.belady_key(*id);
-            self.disk.insert(*id, key);
-            self.insert_time.insert(*id, now);
-        }
-        Decision::Serve(ServeOutcome {
-            hit_chunks: present.len() as u64,
-            filled_chunks: missing.len() as u64,
-            evicted,
-        })
+        let decision = if !serve {
+            Decision::Redirect
+        } else {
+            // Evict the cached chunks requested farthest in the future
+            // (S''), then fill. Every filled chunk is genuinely stored —
+            // the §2 model fetches and stores chunks to serve them, so
+            // capacity is never exceeded even transiently (matching the
+            // IP's constraint 10f). Requests larger than the whole disk
+            // keep only their tail chunks.
+            let evict_needed =
+                ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
+            let mut evicted = Vec::new();
+            if evict_needed > 0 {
+                evicted.extend(
+                    self.disk
+                        .iter_largest_excluding(evict_needed, |id| present.contains(id))
+                        .map(|(id, _)| id),
+                );
+                for &v in &evicted {
+                    self.evict_chunk(v, now);
+                }
+            }
+            let free = (capacity - self.disk.len() as u64) as usize;
+            let keep_from = missing.len().saturating_sub(free);
+            for id in &missing[keep_from..] {
+                let key = self.belady_key(*id);
+                self.disk.insert(*id, key);
+                self.insert_time.insert(*id, now);
+            }
+            Decision::Serve(ServeOutcome {
+                hit_chunks: present.len() as u64,
+                filled_chunks: missing.len() as u64,
+                evicted,
+            })
+        };
+        self.scratch_present = present;
+        self.scratch_missing = missing;
+        decision
     }
 
     fn name(&self) -> &'static str {

@@ -51,6 +51,9 @@ pub struct XlruCache {
     /// Disk cache: chunk → last access time, LRU-ordered.
     disk: IndexedLruList<ChunkId>,
     handled: u64,
+    /// Reusable per-request buffers: the decide path allocates nothing.
+    scratch_present: Vec<ChunkId>,
+    scratch_missing: Vec<ChunkId>,
 }
 
 impl XlruCache {
@@ -61,6 +64,8 @@ impl XlruCache {
             tracker: IndexedLruList::new(),
             disk: IndexedLruList::new(),
             handled: 0,
+            scratch_present: Vec::new(),
+            scratch_missing: Vec::new(),
         }
     }
 
@@ -173,9 +178,11 @@ impl CachePolicy for XlruCache {
         let prev = self.tracker.last_access(&request.video);
         self.tracker.touch(request.video, now);
 
+        let mut present = std::mem::take(&mut self.scratch_present);
+        let mut missing = std::mem::take(&mut self.scratch_missing);
+        present.clear();
+        missing.clear();
         let range = request.chunk_range(k);
-        let mut present: Vec<ChunkId> = Vec::new();
-        let mut missing: Vec<ChunkId> = Vec::new();
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
             if self.disk.contains(&id) {
@@ -188,36 +195,41 @@ impl CachePolicy for XlruCache {
         // Warm-up ("disk not full", Figure 1 comment): admit while free
         // space remains; the popularity test engages once the disk fills.
         let warmup = (self.disk.len() as u64) < self.config.disk_chunks;
-        if !warmup && self.fails_popularity_test(prev, now) {
-            return Decision::Redirect; // lines 3–4
-        }
-
-        // Serve: refresh hits first so eviction targets genuinely old data.
-        for id in &present {
-            self.disk.touch(*id, now);
-        }
-        // Lines 5–7: evict the oldest |missing| chunks, fill the misses.
-        // Requests larger than the whole disk keep only their tail chunks.
-        let mut evicted = Vec::new();
-        let keep_from = missing
-            .len()
-            .saturating_sub(self.config.disk_chunks as usize);
-        for (i, id) in missing.iter().enumerate() {
-            if i < keep_from {
-                continue;
+        let decision = if !warmup && self.fails_popularity_test(prev, now) {
+            Decision::Redirect // lines 3–4
+        } else {
+            // Serve: refresh hits first so eviction targets genuinely old
+            // data.
+            for id in &present {
+                self.disk.touch(*id, now);
             }
-            if self.disk.len() as u64 >= self.config.disk_chunks {
-                if let Some((old, _)) = self.disk.pop_oldest() {
-                    evicted.push(old);
+            // Lines 5–7: evict the oldest |missing| chunks, fill the
+            // misses. Requests larger than the whole disk keep only their
+            // tail chunks.
+            let mut evicted = Vec::new();
+            let keep_from = missing
+                .len()
+                .saturating_sub(self.config.disk_chunks as usize);
+            for (i, id) in missing.iter().enumerate() {
+                if i < keep_from {
+                    continue;
                 }
+                if self.disk.len() as u64 >= self.config.disk_chunks {
+                    if let Some((old, _)) = self.disk.pop_oldest() {
+                        evicted.push(old);
+                    }
+                }
+                self.disk.touch(*id, now);
             }
-            self.disk.touch(*id, now);
-        }
-        Decision::Serve(ServeOutcome {
-            hit_chunks: present.len() as u64,
-            filled_chunks: missing.len() as u64,
-            evicted,
-        })
+            Decision::Serve(ServeOutcome {
+                hit_chunks: present.len() as u64,
+                filled_chunks: missing.len() as u64,
+                evicted,
+            })
+        };
+        self.scratch_present = present;
+        self.scratch_missing = missing;
+        decision
     }
 
     fn name(&self) -> &'static str {

@@ -61,6 +61,22 @@ impl ReplayConfig {
         self.steady_after = fraction;
         self
     }
+
+    /// Toggles the per-request invariant walk (capacity, serve
+    /// completeness). On by default; benches turn it off because the
+    /// asserts sit on the replay hot loop, while tests keep it on.
+    pub fn with_check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// The measurement configuration for benches and sweeps: identical to
+    /// [`ReplayConfig::new`] but with the per-request invariant checks
+    /// off. The invariants stay enforced by the test suite, which replays
+    /// the same policies with [`ReplayConfig::new`].
+    pub fn bench(chunk_size: vcdn_types::ChunkSize, costs: CostModel) -> Self {
+        Self::new(chunk_size, costs).with_check_invariants(false)
+    }
 }
 
 /// Per-window traffic statistics.
@@ -337,6 +353,26 @@ mod tests {
             .with_steady_after(0.25);
         assert_eq!(c.window, DurationMs::from_secs(60));
         assert!((c.steady_after - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_config_disables_invariants_only() {
+        let costs = CostModel::balanced();
+        let checked = ReplayConfig::new(k100(), costs);
+        let bench = ReplayConfig::bench(k100(), costs);
+        assert!(checked.check_invariants);
+        assert!(!bench.check_invariants);
+        assert_eq!(bench.with_check_invariants(true), checked);
+        // The flag only gates asserts — reports are identical either way.
+        let trace = TraceGenerator::new(vcdn_trace::ServerProfile::tiny_test(), 5)
+            .generate(DurationMs::from_hours(6));
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut a = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let mut b = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let ra = Replayer::new(ReplayConfig::new(ChunkSize::DEFAULT, costs)).replay(&trace, &mut a);
+        let rb =
+            Replayer::new(ReplayConfig::bench(ChunkSize::DEFAULT, costs)).replay(&trace, &mut b);
+        assert_eq!(ra, rb);
     }
 
     #[test]

@@ -13,8 +13,6 @@
 //! exactly the two quantities the footnote names: per-server load balance
 //! and co-located duplicate chunks.
 
-use std::collections::HashSet;
-
 use vcdn_core::CachePolicy;
 use vcdn_trace::Trace;
 use vcdn_types::{ChunkId, Decision, TrafficCounter, VideoId};
@@ -168,7 +166,7 @@ pub fn replay_colocated(
         }
     }
     // Count duplicates over the union of requested chunks.
-    let mut requested: HashSet<ChunkId> = HashSet::new();
+    let mut requested: vcdn_types::FastSet<ChunkId> = vcdn_types::FastSet::default();
     for r in &trace.requests {
         for c in r.chunk_range(k).iter() {
             requested.insert(ChunkId::new(r.video, c));

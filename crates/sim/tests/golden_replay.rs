@@ -8,7 +8,9 @@
 //! The trace is built by hand (not generated) so the goldens only depend
 //! on the policies and the replayer, never on the workload generator.
 
-use vcdn_core::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
+use vcdn_core::{
+    CacheConfig, CachePolicy, CafeCache, CafeConfig, PsychicCache, PsychicConfig, XlruCache,
+};
 use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
 use vcdn_trace::{Trace, TraceMeta};
 use vcdn_types::{ByteRange, ChunkSize, CostModel, DurationMs, Request, Timestamp, VideoId};
@@ -23,6 +25,7 @@ const ALPHA: f64 = 2.0;
 /// Expected overall (hit, fill, redirect) bytes per policy.
 const GOLDEN_XLRU: (u64, u64, u64) = (1_000, 1_000, 1_100);
 const GOLDEN_CAFE: (u64, u64, u64) = (1_400, 900, 800);
+const GOLDEN_PSYCHIC: (u64, u64, u64) = (1_600, 700, 800);
 
 fn k() -> ChunkSize {
     ChunkSize::new(K).expect("non-zero")
@@ -117,6 +120,19 @@ fn cafe_golden_bytes() {
         report.overall.hit_bytes, report.overall.fill_bytes, report.overall.redirect_bytes
     );
     check(&report, GOLDEN_CAFE);
+}
+
+#[test]
+fn psychic_golden_bytes() {
+    let costs = CostModel::from_alpha(ALPHA).expect("valid alpha");
+    let trace = golden_trace();
+    let mut cache = PsychicCache::new(PsychicConfig::new(DISK, k(), costs), &trace.requests);
+    let report = replay(&mut cache);
+    eprintln!(
+        "psychic actual: ({}, {}, {})",
+        report.overall.hit_bytes, report.overall.fill_bytes, report.overall.redirect_bytes
+    );
+    check(&report, GOLDEN_PSYCHIC);
 }
 
 #[test]

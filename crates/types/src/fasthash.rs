@@ -1,0 +1,247 @@
+//! A fast, non-cryptographic hasher for the simulator's hot maps.
+//!
+//! Replay spends most of its time in `HashMap` lookups keyed by
+//! [`ChunkId`](crate::ChunkId)/[`VideoId`](crate::VideoId); the std
+//! `RandomState`/SipHash default is DoS-resistant but costs tens of cycles
+//! per lookup, which the single-process simulator does not need. This
+//! module provides an FxHash-style multiply-xor hasher (the family used by
+//! rustc's interner tables) implemented in-repo — the build is offline, so
+//! no external crates — plus [`FastMap`]/[`FastSet`] aliases used by every
+//! policy and the sharding layer.
+//!
+//! Determinism: unlike `RandomState`, `FxBuildHasher` is deterministic
+//! across processes and runs. Replay *output* never depends on map
+//! iteration order anyway (all ordered output is explicitly sorted), which
+//! the `std-hash` cargo feature verifies: enabling it swaps the aliases
+//! back to the std hasher, and the full test suite — golden replays
+//! included — must pass bit-for-bit either way.
+//!
+//! # Examples
+//!
+//! ```
+//! use vcdn_types::fasthash::{FastMap, FastSet};
+//!
+//! let mut m: FastMap<u64, &str> = FastMap::default();
+//! m.insert(7, "chunk");
+//! assert_eq!(m.get(&7), Some(&"chunk"));
+//!
+//! let mut s: FastSet<u32> = FastSet::default();
+//! s.insert(3);
+//! assert!(s.contains(&3));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: 2^64 / φ, the same odd constant Fibonacci
+/// hashing uses, so single-`u64` keys get well-mixed high bits.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Bits to rotate the running state between words, decorrelating fields of
+/// multi-word keys (e.g. a struct hashed as several `write_*` calls).
+const ROTATE: u32 = 26;
+
+/// An FxHash-style multiply-xor hasher: `state = (state.rot(R) ^ word) * SEED`.
+///
+/// Not collision-resistant against adversaries — use only for in-process
+/// tables keyed by trusted simulator IDs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold the high bits down: in a multiply-mix, bit `i` of the
+        // product depends only on input bits `0..=i`, so the low bits are
+        // poorly mixed — and hashbrown derives the bucket index from the
+        // LOW bits of the hash. Without this fold, every video's chunk 0
+        // (identical low 20 packed bits) lands in one bucket and lookups
+        // degrade to linear probe chains.
+        self.state ^ (self.state >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" hash differently.
+            self.mix(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// Zero-sized builder for [`FxHasher`]; every hasher starts from the same
+/// state, so hashes are reproducible across runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` on the fast hasher (std `RandomState` under `--features
+/// std-hash`, the cross-hasher determinism check).
+#[cfg(not(feature = "std-hash"))]
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` on the fast hasher (std `RandomState` under `--features
+/// std-hash`, the cross-hasher determinism check).
+#[cfg(not(feature = "std-hash"))]
+pub type FastSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(feature = "std-hash")]
+pub type FastMap<K, V> = HashMap<K, V>;
+#[cfg(feature = "std-hash")]
+pub type FastSet<T> = HashSet<T>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        // Consecutive u64 keys must not collide and must differ in their
+        // high bits (HashMap uses the top 7 bits for its control bytes).
+        let hashes: Vec<u64> = (0u64..1000).map(|i| hash_of(&i)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000, "collisions among 1000 small keys");
+        let top_bytes: HashSet<u8> = hashes.iter().map(|h| (h >> 57) as u8).collect();
+        assert!(
+            top_bytes.len() > 32,
+            "high bits poorly mixed: {top_bytes:?}"
+        );
+    }
+
+    #[test]
+    fn low_bits_spread_across_videos() {
+        // Same chunk index, different videos: the packed key differs only
+        // in its high bits, but the bucket index (low hash bits) must
+        // still spread. A regression here makes HashMap lookups linear.
+        let buckets: HashSet<u64> = (0u64..1024)
+            .map(|v| hash_of(&crate::ChunkId::new(crate::VideoId(v), 0)) & 0xFFFF)
+            .collect();
+        assert!(buckets.len() > 900, "low bits clustered: {}", buckets.len());
+    }
+
+    #[test]
+    fn byte_slices_length_sensitive() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn multiword_fields_decorrelated() {
+        // (1, 2) and (2, 1) hash differently despite identical word sets.
+        let mut a = FxHasher::default();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = FxHasher::default();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fastmap_matches_std_hashmap_model() {
+        // Property test: a FastMap driven by a deterministic op stream
+        // agrees with a std-hasher HashMap reference at every step. The
+        // keys are ChunkId-packed u64s, the shape the hot path uses.
+        let mut fast: FastMap<u64, u64> = FastMap::default();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng: u64 = 0x5EED_CAFE;
+        for step in 0..20_000u64 {
+            // SplitMix64 step — deterministic, no external crates.
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let key = crate::ChunkId::new(crate::VideoId(z % 256), (z >> 8) as u32 % 64).packed();
+            match z >> 62 {
+                0 => {
+                    assert_eq!(fast.insert(key, step), model.insert(key, step));
+                }
+                1 => {
+                    assert_eq!(fast.remove(&key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(fast.get(&key), model.get(&key));
+                }
+            }
+            assert_eq!(fast.len(), model.len());
+        }
+        let mut a: Vec<_> = fast.into_iter().collect();
+        let mut b: Vec<_> = model.into_iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fastmap_basic_ops() {
+        let mut m: FastMap<u32, u32> = FastMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&7), Some(&14));
+        assert_eq!(m.remove(&7), Some(14));
+        assert_eq!(m.get(&7), None);
+    }
+}

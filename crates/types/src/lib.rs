@@ -28,6 +28,7 @@
 
 pub mod cost;
 pub mod decision;
+pub mod fasthash;
 pub mod ids;
 pub mod json;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod time;
 
 pub use cost::{CostError, CostModel};
 pub use decision::{Decision, ServeOutcome};
+pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use ids::{ChunkId, VideoId};
 pub use metrics::TrafficCounter;
 pub use range::{ByteRange, ChunkRange, ChunkSize, RangeError};
