@@ -1,0 +1,216 @@
+//! Telemetry JSONL validator: structural and semantic checks over a
+//! `replay_observe` export, used by the CI observe-smoke job.
+//!
+//! For every bundle (delimited by `"type":"meta"` lines) it verifies:
+//! the schema tag, that the meta line's section counts match the actual
+//! line counts, that every line is one of the known record types, that
+//! the sample grid is evenly spaced with exact cumulative counters whose
+//! final Eq. 2 efficiency recomputes from its own byte counters, that
+//! event sequence numbers are strictly increasing with consistent
+//! verdicts, and that histogram metric lines conserve their samples.
+//!
+//! Flags: `--in <path>` (default `results/telemetry.jsonl`). Exits
+//! non-zero with one line per violation if any check fails.
+
+use std::process::ExitCode;
+
+use vcdn_bench::arg_flag;
+use vcdn_obs::SCHEMA;
+use vcdn_types::json::{self, Json};
+use vcdn_types::CostModel;
+
+/// A bundle's parsed lines, split by section.
+#[derive(Default)]
+struct Bundle {
+    meta: Option<Json>,
+    metrics: Vec<Json>,
+    samples: Vec<Json>,
+    events: Vec<Json>,
+}
+
+fn as_u64(j: Option<&Json>) -> Option<u64> {
+    match j {
+        Some(Json::Int(i)) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(j: Option<&Json>) -> Option<f64> {
+    match j {
+        Some(Json::Float(x)) => Some(*x),
+        Some(Json::Int(i)) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn check_bundle(idx: usize, b: &Bundle, errs: &mut Vec<String>) {
+    let mut err = |msg: String| errs.push(format!("bundle {idx}: {msg}"));
+    let Some(meta) = &b.meta else {
+        err("missing meta line".into());
+        return;
+    };
+    if meta.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        err(format!("schema is not {SCHEMA:?}"));
+    }
+    for (key, actual) in [
+        ("metrics", b.metrics.len()),
+        ("samples", b.samples.len()),
+        ("events", b.events.len()),
+    ] {
+        match as_u64(meta.get(key)) {
+            Some(n) if n as usize == actual => {}
+            other => err(format!("meta.{key} = {other:?}, counted {actual}")),
+        }
+    }
+    if b.metrics.is_empty() {
+        err("no metric lines".into());
+    }
+    if b.samples.is_empty() {
+        err("no sample lines — sampler was never fed".into());
+    }
+
+    // Metric lines: known kinds; histograms conserve their samples.
+    for m in &b.metrics {
+        let name = m.get("name").and_then(Json::as_str).unwrap_or("?");
+        match m.get("kind").and_then(Json::as_str) {
+            Some("counter") | Some("gauge") => {}
+            Some("histogram") => {
+                let Some(Json::Arr(buckets)) = m.get("buckets") else {
+                    err(format!("histogram {name} has no buckets"));
+                    continue;
+                };
+                let count: u64 = buckets.iter().filter_map(|b| as_u64(Some(b))).sum();
+                if Some(count) != as_u64(m.get("value")) {
+                    err(format!("histogram {name}: buckets sum != count"));
+                }
+            }
+            // Timing histograms are non-deterministic and must never be
+            // exported.
+            other => err(format!("metric {name}: unexpected kind {other:?}")),
+        }
+    }
+
+    // Sample grid: evenly spaced, cumulative counters monotone, final
+    // cumulative efficiency recomputes from its own byte counters (Eq. 2).
+    let interval = as_u64(meta.get("interval_ms")).unwrap_or(0);
+    let mut prev_cum = 0u64;
+    for (i, s) in b.samples.iter().enumerate() {
+        if as_u64(s.get("t_ms")) != Some(i as u64 * interval) {
+            err(format!("sample {i}: t_ms off the interval grid"));
+            break;
+        }
+        let cum = ["cum_hit_bytes", "cum_fill_bytes", "cum_redirect_bytes"]
+            .iter()
+            .filter_map(|k| as_u64(s.get(k)))
+            .sum::<u64>();
+        if cum < prev_cum {
+            err(format!("sample {i}: cumulative bytes decreased"));
+        }
+        prev_cum = cum;
+    }
+    if let (Some(last), Some(alpha)) = (b.samples.last(), as_f64(meta.get("alpha"))) {
+        let costs = CostModel::from_alpha(alpha).expect("valid alpha in meta");
+        let fill = as_u64(last.get("cum_fill_bytes")).unwrap_or(0) as f64;
+        let red = as_u64(last.get("cum_redirect_bytes")).unwrap_or(0) as f64;
+        let total = as_u64(last.get("cum_hit_bytes")).unwrap_or(0) as f64 + fill + red;
+        let want = if total == 0.0 {
+            0.0
+        } else {
+            1.0 - fill / total * costs.c_f() - red / total * costs.c_r()
+        };
+        let got = as_f64(last.get("cum_efficiency")).unwrap_or(f64::NAN);
+        // NaN must fail too, so compare for "close enough" and negate.
+        let close = (got - want).abs() < 1e-9;
+        if !close {
+            err(format!(
+                "final cum_efficiency {got} does not recompute to {want} (Eq. 2)"
+            ));
+        }
+    }
+
+    // Events: strictly increasing seq, verdict-consistent chunk splits.
+    let mut prev_seq = None;
+    for e in &b.events {
+        let seq = as_u64(e.get("seq"));
+        if seq.is_none() || prev_seq.is_some() && seq <= prev_seq {
+            err(format!(
+                "event seq {seq:?} after {prev_seq:?} not increasing"
+            ));
+            break;
+        }
+        prev_seq = seq;
+        let hit = as_u64(e.get("hit_chunks")).unwrap_or(0);
+        let fill = as_u64(e.get("fill_chunks")).unwrap_or(0);
+        let chunks = as_u64(e.get("chunks")).unwrap_or(0);
+        match e.get("verdict").and_then(Json::as_str) {
+            Some("serve") if hit + fill == chunks => {}
+            Some("redirect") if hit == 0 && fill == 0 => {}
+            v => err(format!(
+                "event {seq:?}: verdict {v:?} inconsistent with chunks"
+            )),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let path: String = arg_flag("in").unwrap_or_else(|| "results/telemetry.jsonl".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[obs_check] cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut bundles: Vec<Bundle> = Vec::new();
+    let mut errs: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let j = match json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                errs.push(format!("line {}: unparseable: {e}", lineno + 1));
+                continue;
+            }
+        };
+        match j.get("type").and_then(Json::as_str) {
+            Some("meta") => bundles.push(Bundle {
+                meta: Some(j),
+                ..Bundle::default()
+            }),
+            Some(kind) => {
+                let Some(b) = bundles.last_mut() else {
+                    errs.push(format!("line {}: {kind} before any meta line", lineno + 1));
+                    continue;
+                };
+                match kind {
+                    "metric" => b.metrics.push(j),
+                    "sample" => b.samples.push(j),
+                    "event" => b.events.push(j),
+                    _ => errs.push(format!("line {}: unknown type {kind:?}", lineno + 1)),
+                }
+            }
+            None => errs.push(format!("line {}: missing type field", lineno + 1)),
+        }
+    }
+    if bundles.is_empty() {
+        errs.push("no telemetry bundles found".into());
+    }
+    for (i, b) in bundles.iter().enumerate() {
+        check_bundle(i, b, &mut errs);
+    }
+
+    if errs.is_empty() {
+        println!(
+            "[obs_check] {path}: {} bundle(s), {} lines — all checks passed",
+            bundles.len(),
+            text.lines().count()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errs {
+            eprintln!("[obs_check] FAIL {e}");
+        }
+        eprintln!("[obs_check] {path}: {} violation(s)", errs.len());
+        ExitCode::FAILURE
+    }
+}

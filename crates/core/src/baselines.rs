@@ -17,6 +17,7 @@
 //! and uniform fetch cost its priority `H = L + cost/size` degenerates to
 //! (aged) LRU.
 
+use vcdn_obs::PolicyObs;
 use vcdn_types::{
     ChunkId, ChunkSize, CostModel, Decision, FastMap, Request, ServeOutcome, Timestamp,
 };
@@ -51,6 +52,7 @@ pub struct LfuCache {
     disk: KeyedSet<ChunkId>,
     counts: FastMap<ChunkId, u64>,
     last_access: FastMap<ChunkId, Timestamp>,
+    obs: PolicyObs,
     /// Reusable per-request buffer: the decide path allocates nothing.
     scratch_missing: Vec<ChunkId>,
 }
@@ -66,6 +68,7 @@ impl LfuCache {
             disk: KeyedSet::new(),
             counts: FastMap::default(),
             last_access: FastMap::default(),
+            obs: PolicyObs::noop(),
             scratch_missing: Vec::new(),
         }
     }
@@ -126,11 +129,13 @@ impl CachePolicy for LfuCache {
         }
         let filled = missing.len() as u64;
         self.scratch_missing = missing;
-        Decision::Serve(ServeOutcome {
+        let decision = Decision::Serve(ServeOutcome {
             hit_chunks: hit,
             filled_chunks: filled,
             evicted,
-        })
+        });
+        self.obs.record_decision(&decision, self.disk.len() as u64);
+        decision
     }
 
     fn name(&self) -> &'static str {
@@ -156,6 +161,10 @@ impl CachePolicy for LfuCache {
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
     }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
+    }
 }
 
 /// LRU-K (O'Neil et al. \[17\]): evicts the chunk whose K-th most recent
@@ -173,6 +182,7 @@ pub struct LruKCache {
     disk: KeyedSet<ChunkId>,
     /// Most recent accesses per cached chunk, newest first, length ≤ K.
     history: FastMap<ChunkId, Vec<Timestamp>>,
+    obs: PolicyObs,
     /// Reusable per-request buffer: the decide path allocates nothing.
     scratch_missing: Vec<ChunkId>,
 }
@@ -190,6 +200,7 @@ impl LruKCache {
             k_history,
             disk: KeyedSet::new(),
             history: FastMap::default(),
+            obs: PolicyObs::noop(),
             scratch_missing: Vec::new(),
         }
     }
@@ -261,11 +272,13 @@ impl CachePolicy for LruKCache {
         }
         let filled = missing.len() as u64;
         self.scratch_missing = missing;
-        Decision::Serve(ServeOutcome {
+        let decision = Decision::Serve(ServeOutcome {
             hit_chunks: hit,
             filled_chunks: filled,
             evicted,
-        })
+        });
+        self.obs.record_decision(&decision, self.disk.len() as u64);
+        decision
     }
 
     fn name(&self) -> &'static str {
@@ -290,6 +303,10 @@ impl CachePolicy for LruKCache {
 
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
+    }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
     }
 }
 
@@ -442,6 +459,7 @@ pub struct GdspCache {
     counts: FastMap<ChunkId, u64>,
     /// Inflation value: priority of the most recent eviction.
     inflation: f64,
+    obs: PolicyObs,
     /// Reusable per-request buffer: the decide path allocates nothing.
     scratch_missing: Vec<ChunkId>,
 }
@@ -454,6 +472,7 @@ impl GdspCache {
             disk: KeyedSet::new(),
             counts: FastMap::default(),
             inflation: 0.0,
+            obs: PolicyObs::noop(),
             scratch_missing: Vec::new(),
         }
     }
@@ -508,11 +527,13 @@ impl CachePolicy for GdspCache {
         }
         let filled = missing.len() as u64;
         self.scratch_missing = missing;
-        Decision::Serve(ServeOutcome {
+        let decision = Decision::Serve(ServeOutcome {
             hit_chunks: hit,
             filled_chunks: filled,
             evicted,
-        })
+        });
+        self.obs.record_decision(&decision, self.disk.len() as u64);
+        decision
     }
 
     fn name(&self) -> &'static str {
@@ -537,6 +558,10 @@ impl CachePolicy for GdspCache {
 
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
+    }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
     }
 }
 

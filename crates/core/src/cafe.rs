@@ -20,6 +20,7 @@
 //! partially cached video as the largest IAT among that video's cached
 //! chunks — is implemented and can be toggled for ablation.
 
+use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{
     ChunkId, ChunkSize, CostModel, Decision, DurationMs, FastMap, FastSet, Request, ServeOutcome,
     Timestamp, VideoId,
@@ -188,6 +189,8 @@ pub struct CafeCache {
     hot: Option<KeyedSet<ChunkId>>,
     handled: u64,
     replay_start: Option<Timestamp>,
+    obs: PolicyObs,
+    last_detail: DecisionDetail,
     /// Reusable per-request buffers: the decide path allocates nothing.
     scratch_present: Vec<ChunkId>,
     scratch_missing: Vec<ChunkId>,
@@ -205,6 +208,8 @@ impl CafeCache {
             hot: None,
             handled: 0,
             replay_start: None,
+            obs: PolicyObs::noop(),
+            last_detail: DecisionDetail::default(),
             scratch_present: Vec::new(),
             scratch_missing: Vec::new(),
         }
@@ -535,6 +540,7 @@ impl CachePolicy for CafeCache {
         let warmup = (self.disk.len() as u64) < capacity;
 
         let video_estimate = self.video_iat_estimate(request.video, now);
+        self.last_detail = DecisionDetail::age_only(self.cache_age_ms(now));
         let serve = if warmup {
             true
         } else if !video_known {
@@ -570,6 +576,7 @@ impl CachePolicy for CafeCache {
                     .or(video_estimate);
                 e_redirect += Self::future_requests(t_window, iat) * min_cost;
             }
+            self.last_detail = DecisionDetail::costs(e_serve, e_redirect, self.cache_age_ms(now));
             e_serve <= e_redirect
         };
 
@@ -606,6 +613,7 @@ impl CachePolicy for CafeCache {
         };
         self.scratch_present = present;
         self.scratch_missing = missing;
+        self.obs.record_decision(&decision, self.disk.len() as u64);
         decision
     }
 
@@ -631,6 +639,14 @@ impl CachePolicy for CafeCache {
 
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
+    }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
+    }
+
+    fn decision_detail(&self) -> DecisionDetail {
+        self.last_detail
     }
 }
 

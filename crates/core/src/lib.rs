@@ -58,4 +58,5 @@ pub use policy::{CacheConfig, CachePolicy};
 pub use prefetch::{PrefetchConfig, ProactiveCafeCache};
 pub use psychic::{PsychicCache, PsychicConfig};
 pub use snapshot::{CafeSnapshot, SnapshotError, XlruSnapshot};
+pub use vcdn_obs::{DecisionDetail, PolicyObs};
 pub use xlru::XlruCache;

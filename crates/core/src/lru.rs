@@ -5,6 +5,7 @@
 //! maximal. It exists as the context baseline for the experiments and as
 //! the simplest reference implementation of the [`CachePolicy`] contract.
 
+use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{ChunkId, ChunkSize, CostModel, Decision, Request, ServeOutcome};
 
 use crate::{
@@ -32,6 +33,8 @@ use crate::{
 pub struct LruCache {
     config: CacheConfig,
     disk: IndexedLruList<ChunkId>,
+    obs: PolicyObs,
+    last_detail: DecisionDetail,
     /// Reusable per-request buffer: the decide path allocates nothing.
     scratch_missing: Vec<ChunkId>,
 }
@@ -42,6 +45,8 @@ impl LruCache {
         LruCache {
             config,
             disk: IndexedLruList::new(),
+            obs: PolicyObs::noop(),
+            last_detail: DecisionDetail::default(),
             scratch_missing: Vec::new(),
         }
     }
@@ -58,6 +63,7 @@ impl LruCache {
 impl CachePolicy for LruCache {
     fn handle_request(&mut self, request: &Request) -> Decision {
         let k = self.config.chunk_size;
+        self.last_detail = DecisionDetail::age_only(self.cache_age(request.t).as_millis() as f64);
         let range = request.chunk_range(k);
         let mut hit = 0u64;
         let mut missing = std::mem::take(&mut self.scratch_missing);
@@ -91,11 +97,13 @@ impl CachePolicy for LruCache {
             self.disk.touch(*id, request.t);
         }
         self.scratch_missing = missing;
-        Decision::Serve(ServeOutcome {
+        let decision = Decision::Serve(ServeOutcome {
             hit_chunks: hit,
             filled_chunks: fill,
             evicted,
-        })
+        });
+        self.obs.record_decision(&decision, self.disk.len() as u64);
+        decision
     }
 
     fn name(&self) -> &'static str {
@@ -120,6 +128,14 @@ impl CachePolicy for LruCache {
 
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
+    }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
+    }
+
+    fn decision_detail(&self) -> DecisionDetail {
+        self.last_detail
     }
 }
 

@@ -1,5 +1,6 @@
 //! The interface every cache algorithm implements.
 
+use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{ChunkId, ChunkSize, CostModel, Decision, Request};
 
 /// A per-server video cache: decides serve-vs-redirect for each request and
@@ -39,6 +40,22 @@ pub trait CachePolicy: Send {
     /// Whether a specific chunk is currently cached (primarily for tests
     /// and invariant checks).
     fn contains_chunk(&self, chunk: ChunkId) -> bool;
+
+    /// Attaches an instrumentation handle; subsequent decisions are
+    /// recorded through it. Policies start detached (no-op handle), so
+    /// uninstrumented replays pay nothing; the default implementation
+    /// ignores the handle entirely.
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        let _ = obs;
+    }
+
+    /// The cost/age terms behind the most recent
+    /// [`CachePolicy::handle_request`] decision, for decision tracing
+    /// (Eq. 5 / Eqs. 6–7 / Eqs. 13–14). Policies without a cost
+    /// comparison return the empty default.
+    fn decision_detail(&self) -> DecisionDetail {
+        DecisionDetail::default()
+    }
 }
 
 /// Configuration shared by every cache implementation.

@@ -172,6 +172,14 @@ impl CachePolicy for ProactiveCafeCache {
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.inner.contains_chunk(chunk)
     }
+
+    fn attach_obs(&mut self, obs: vcdn_obs::PolicyObs) {
+        self.inner.attach_obs(obs);
+    }
+
+    fn decision_detail(&self) -> vcdn_obs::DecisionDetail {
+        self.inner.decision_detail()
+    }
 }
 
 #[cfg(test)]

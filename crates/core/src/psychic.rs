@@ -19,6 +19,7 @@
 //! Being offline, Psychic must replay exactly the trace it was built from;
 //! this is asserted at run time.
 
+use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{
     ChunkId, ChunkSize, CostModel, Decision, FastMap, Request, ServeOutcome, Timestamp, VideoId,
 };
@@ -123,6 +124,8 @@ pub struct PsychicCache {
     mean_residency_ms: f64,
     evictions: u64,
     replay_start: Option<Timestamp>,
+    obs: PolicyObs,
+    last_detail: DecisionDetail,
     /// Reusable per-request buffers: the decide path allocates nothing.
     scratch_present: Vec<ChunkId>,
     scratch_missing: Vec<ChunkId>,
@@ -161,6 +164,8 @@ impl PsychicCache {
             mean_residency_ms: 0.0,
             evictions: 0,
             replay_start: None,
+            obs: PolicyObs::noop(),
+            last_detail: DecisionDetail::default(),
             scratch_present: Vec::new(),
             scratch_missing: Vec::new(),
         }
@@ -257,6 +262,7 @@ impl CachePolicy for PsychicCache {
         }
 
         let warmup = (self.disk.len() as u64) < capacity;
+        self.last_detail = DecisionDetail::age_only(self.cache_age_ms(now));
         let serve = if warmup || missing.is_empty() {
             true
         } else {
@@ -278,6 +284,7 @@ impl CachePolicy for PsychicCache {
             for id in &missing {
                 e_redirect += self.future_value(*id, now, t_window, n) * min_cost;
             }
+            self.last_detail = DecisionDetail::costs(e_serve, e_redirect, t_window);
             e_serve <= e_redirect
         };
 
@@ -318,6 +325,7 @@ impl CachePolicy for PsychicCache {
         };
         self.scratch_present = present;
         self.scratch_missing = missing;
+        self.obs.record_decision(&decision, self.disk.len() as u64);
         decision
     }
 
@@ -343,6 +351,14 @@ impl CachePolicy for PsychicCache {
 
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
+    }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
+    }
+
+    fn decision_detail(&self) -> DecisionDetail {
+        self.last_detail
     }
 }
 

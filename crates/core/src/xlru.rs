@@ -14,6 +14,7 @@
 //! pseudocode; we admit every request while free space remains (popularity
 //! state still updates), for all caches alike.
 
+use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{
     ChunkId, ChunkSize, CostModel, Decision, DurationMs, Request, ServeOutcome, Timestamp, VideoId,
 };
@@ -51,6 +52,8 @@ pub struct XlruCache {
     /// Disk cache: chunk → last access time, LRU-ordered.
     disk: IndexedLruList<ChunkId>,
     handled: u64,
+    obs: PolicyObs,
+    last_detail: DecisionDetail,
     /// Reusable per-request buffers: the decide path allocates nothing.
     scratch_present: Vec<ChunkId>,
     scratch_missing: Vec<ChunkId>,
@@ -64,6 +67,8 @@ impl XlruCache {
             tracker: IndexedLruList::new(),
             disk: IndexedLruList::new(),
             handled: 0,
+            obs: PolicyObs::noop(),
+            last_detail: DecisionDetail::default(),
             scratch_present: Vec::new(),
             scratch_missing: Vec::new(),
         }
@@ -195,6 +200,16 @@ impl CachePolicy for XlruCache {
         // Warm-up ("disk not full", Figure 1 comment): admit while free
         // space remains; the popularity test engages once the disk fills.
         let warmup = (self.disk.len() as u64) < self.config.disk_chunks;
+        let age_ms = self.cache_age(now).as_millis() as f64;
+        self.last_detail = match prev {
+            // Eq. 5 terms as compared: IAT·α_F2R against the cache age.
+            Some(t) if !warmup => DecisionDetail::costs(
+                (now - t).as_millis() as f64 * self.config.costs.alpha(),
+                age_ms,
+                age_ms,
+            ),
+            _ => DecisionDetail::age_only(age_ms),
+        };
         let decision = if !warmup && self.fails_popularity_test(prev, now) {
             Decision::Redirect // lines 3–4
         } else {
@@ -229,6 +244,7 @@ impl CachePolicy for XlruCache {
         };
         self.scratch_present = present;
         self.scratch_missing = missing;
+        self.obs.record_decision(&decision, self.disk.len() as u64);
         decision
     }
 
@@ -254,6 +270,14 @@ impl CachePolicy for XlruCache {
 
     fn contains_chunk(&self, chunk: ChunkId) -> bool {
         self.disk.contains(&chunk)
+    }
+
+    fn attach_obs(&mut self, obs: PolicyObs) {
+        self.obs = obs;
+    }
+
+    fn decision_detail(&self) -> DecisionDetail {
+        self.last_detail
     }
 }
 

@@ -1,0 +1,335 @@
+//! Structured per-request decision events and the bounded ring that
+//! collects them.
+//!
+//! Every replayed request produces one compact [`DecisionEvent`] carrying
+//! everything needed to explain the serve-vs-redirect decision post-hoc:
+//! the per-policy cost terms (`iat·α_F2R` vs cache age for xLRU's Eq. 5;
+//! `E[serve]` vs `E[redirect]` for Cafe's Eqs. 6–7 and Psychic's
+//! Eqs. 13–14), the cache age at decision time, and the outcome's
+//! hit/fill/evict accounting. Events flow through an [`EventRing`] — a
+//! bounded buffer that keeps the most recent `capacity` events and counts
+//! what it dropped, so tracing a month-long replay has fixed memory cost.
+
+use vcdn_types::json::{Json, ToJson};
+use vcdn_types::Request;
+
+/// The cost/age detail a policy computed for its most recent decision.
+///
+/// Policies that skip the cost comparison on a given request (warm-up
+/// admits, full hits, never-seen-video redirects, always-serve baselines)
+/// leave the corresponding fields `None`; the decision is then explained
+/// by the `verdict` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecisionDetail {
+    /// The serve-side quantity: xLRU's `IAT·α_F2R` (Eq. 5 left side),
+    /// Cafe's `E[serve]` (Eq. 6), Psychic's Eq. 13.
+    pub cost_serve: Option<f64>,
+    /// The redirect-side quantity: xLRU's cache age (Eq. 5 right side),
+    /// Cafe's `E[redirect]` (Eq. 7), Psychic's Eq. 14.
+    pub cost_redirect: Option<f64>,
+    /// The policy's cache age (ms) at decision time, where defined.
+    pub cache_age_ms: Option<f64>,
+}
+
+impl DecisionDetail {
+    /// Detail with only a cache age (cost comparison skipped).
+    pub fn age_only(cache_age_ms: f64) -> DecisionDetail {
+        DecisionDetail {
+            cost_serve: None,
+            cost_redirect: None,
+            cache_age_ms: Some(cache_age_ms),
+        }
+    }
+
+    /// Detail with both cost terms and the cache age.
+    pub fn costs(cost_serve: f64, cost_redirect: f64, cache_age_ms: f64) -> DecisionDetail {
+        DecisionDetail {
+            cost_serve: Some(cost_serve),
+            cost_redirect: Some(cost_redirect),
+            cache_age_ms: Some(cache_age_ms),
+        }
+    }
+}
+
+/// The decision outcome recorded in an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Served locally with this hit/fill split.
+    Serve {
+        /// Requested chunks already on disk.
+        hit_chunks: u64,
+        /// Requested chunks cache-filled from upstream.
+        filled_chunks: u64,
+    },
+    /// Redirected to an alternative server.
+    Redirect,
+}
+
+impl Verdict {
+    /// Short name used in JSONL exports: `"serve"` or `"redirect"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Serve { .. } => "serve",
+            Verdict::Redirect => "redirect",
+        }
+    }
+}
+
+/// One replayed request's decision record.
+///
+/// Serialised as a flat JSON object (see `OBSERVABILITY.md` for the field
+/// reference); `cost_serve`, `cost_redirect` and `cache_age_ms` are
+/// `null` when the policy skipped the cost comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Request sequence number within the replay (0-based).
+    pub seq: u64,
+    /// Request arrival time (trace ms).
+    pub t_ms: u64,
+    /// Requested video id.
+    pub video: u64,
+    /// First requested chunk index.
+    pub chunk: u32,
+    /// Number of requested chunks.
+    pub chunks: u32,
+    /// The deciding policy's name.
+    pub policy: &'static str,
+    /// Serve or redirect, with the hit/fill split.
+    pub verdict: Verdict,
+    /// Serve-side cost term (see [`DecisionDetail::cost_serve`]).
+    pub cost_serve: Option<f64>,
+    /// Redirect-side cost term (see [`DecisionDetail::cost_redirect`]).
+    pub cost_redirect: Option<f64>,
+    /// Cache age (ms) at decision time, where the policy defines one.
+    pub cache_age_ms: Option<f64>,
+    /// Chunks evicted by this decision.
+    pub evicted: u64,
+}
+
+impl DecisionEvent {
+    /// Builds an event from the replayed request plus the policy's
+    /// decision outputs. `chunk`/`chunks` describe the request's chunk
+    /// range under the replay's chunk size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_decision(
+        seq: u64,
+        request: &Request,
+        chunk: u32,
+        chunks: u32,
+        policy: &'static str,
+        verdict: Verdict,
+        detail: DecisionDetail,
+        evicted: u64,
+    ) -> DecisionEvent {
+        DecisionEvent {
+            seq,
+            t_ms: request.t.as_millis(),
+            video: request.video.0,
+            chunk,
+            chunks,
+            policy,
+            verdict,
+            cost_serve: detail.cost_serve,
+            cost_redirect: detail.cost_redirect,
+            cache_age_ms: detail.cache_age_ms,
+            evicted,
+        }
+    }
+}
+
+impl ToJson for DecisionEvent {
+    fn to_json(&self) -> Json {
+        let (hit, fill) = match self.verdict {
+            Verdict::Serve {
+                hit_chunks,
+                filled_chunks,
+            } => (hit_chunks, filled_chunks),
+            Verdict::Redirect => (0, 0),
+        };
+        Json::Obj(vec![
+            ("type".into(), Json::Str("event".into())),
+            ("seq".into(), Json::Int(self.seq as i128)),
+            ("t_ms".into(), Json::Int(self.t_ms as i128)),
+            ("video".into(), Json::Int(self.video as i128)),
+            ("chunk".into(), Json::Int(self.chunk as i128)),
+            ("chunks".into(), Json::Int(self.chunks as i128)),
+            ("policy".into(), Json::Str(self.policy.into())),
+            ("verdict".into(), Json::Str(self.verdict.name().into())),
+            ("hit_chunks".into(), Json::Int(hit as i128)),
+            ("fill_chunks".into(), Json::Int(fill as i128)),
+            ("cost_serve".into(), self.cost_serve.to_json()),
+            ("cost_redirect".into(), self.cost_redirect.to_json()),
+            ("cache_age_ms".into(), self.cache_age_ms.to_json()),
+            ("evicted".into(), Json::Int(self.evicted as i128)),
+        ])
+    }
+}
+
+/// A bounded ring buffer of [`DecisionEvent`]s: keeps the newest
+/// `capacity` events, counts the rest as dropped.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_obs::{DecisionEvent, EventRing, Verdict};
+///
+/// let mut ring = EventRing::new(2);
+/// for seq in 0..5 {
+///     ring.push(DecisionEvent {
+///         seq,
+///         t_ms: seq,
+///         video: 1,
+///         chunk: 0,
+///         chunks: 1,
+///         policy: "lru",
+///         verdict: Verdict::Redirect,
+///         cost_serve: None,
+///         cost_redirect: None,
+///         cache_age_ms: None,
+///         evicted: 0,
+///     });
+/// }
+/// let seqs: Vec<u64> = ring.iter_oldest_first().map(|e| e.seq).collect();
+/// assert_eq!(seqs, vec![3, 4]); // newest two survive, in replay order
+/// assert_eq!(ring.dropped(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<DecisionEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event within `buf`.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "ring capacity must be > 0");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, displacing the oldest once full.
+    pub fn push(&mut self, event: DecisionEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events displaced so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events in replay (oldest-first) order.
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = &DecisionEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcdn_types::json;
+
+    fn event(seq: u64) -> DecisionEvent {
+        DecisionEvent {
+            seq,
+            t_ms: seq * 10,
+            video: 7,
+            chunk: 2,
+            chunks: 3,
+            policy: "cafe",
+            verdict: Verdict::Serve {
+                hit_chunks: 2,
+                filled_chunks: 1,
+            },
+            cost_serve: Some(1.5),
+            cost_redirect: Some(2.0),
+            cache_age_ms: Some(100.0),
+            evicted: 1,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut ring = EventRing::new(3);
+        for seq in 0..10 {
+            ring.push(event(seq));
+        }
+        let seqs: Vec<u64> = ring.iter_oldest_first().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn ring_below_capacity_drops_nothing() {
+        let mut ring = EventRing::new(8);
+        ring.push(event(0));
+        ring.push(event(1));
+        assert_eq!(ring.dropped(), 0);
+        let seqs: Vec<u64> = ring.iter_oldest_first().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn event_serialises_with_stable_fields() {
+        let j = event(4).to_json();
+        let parsed = json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("event"));
+        assert_eq!(parsed.get("verdict").and_then(Json::as_str), Some("serve"));
+        assert_eq!(parsed.get("seq"), Some(&Json::Int(4)));
+        assert_eq!(parsed.get("hit_chunks"), Some(&Json::Int(2)));
+        assert_eq!(parsed.get("cost_serve"), Some(&Json::Float(1.5)));
+    }
+
+    #[test]
+    fn redirect_event_serialises_null_costs() {
+        let e = DecisionEvent {
+            verdict: Verdict::Redirect,
+            cost_serve: None,
+            cost_redirect: None,
+            cache_age_ms: None,
+            ..event(1)
+        };
+        let parsed = json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(
+            parsed.get("verdict").and_then(Json::as_str),
+            Some("redirect")
+        );
+        assert_eq!(parsed.get("cost_serve"), Some(&Json::Null));
+        assert_eq!(parsed.get("hit_chunks"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventRing::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Observability for the vCDN replay stack: metrics, decision traces and
+//! time-series telemetry, with zero external dependencies.
+//!
+//! The crate has three layers, matching how a replay is observed:
+//!
+//! * **Metrics** — a lock-free-on-the-hot-path [`MetricsRegistry`] of
+//!   named counters, gauges and log-bucketed histograms behind the
+//!   [`MetricsSink`] trait, with [`NoopSink`] as the free disabled mode.
+//!   Policies hold a [`PolicyObs`] handle bundling their registered ids.
+//! * **Decision traces** — one [`DecisionEvent`] per replayed request
+//!   (verdict, per-policy cost terms, cache age, evictions) retained in a
+//!   bounded [`EventRing`], explaining individual serve-vs-redirect
+//!   choices against the paper's Eq. 5 / Eqs. 6–7 / Eqs. 13–14.
+//! * **Time series** — a [`ReplaySampler`] snapshotting Eq. 2 efficiency,
+//!   fill/redirect byte rates, occupancy and cache age per fixed interval
+//!   of trace time.
+//!
+//! A [`TelemetryBundle`] gathers all three into a deterministic JSONL
+//! document (see `OBSERVABILITY.md` for the schema). Everything here
+//! depends only on `vcdn-types`; the replay wiring lives in `vcdn-sim`.
+
+#![deny(missing_docs)]
+
+mod bundle;
+mod event;
+pub mod histogram;
+mod policy_obs;
+mod registry;
+mod sampler;
+
+pub use bundle::{TelemetryBundle, SCHEMA};
+pub use event::{DecisionDetail, DecisionEvent, EventRing, Verdict};
+pub use histogram::HistogramSnapshot;
+pub use policy_obs::PolicyObs;
+pub use registry::{MetricId, MetricKind, MetricSnapshot, MetricsRegistry, MetricsSink, NoopSink};
+pub use sampler::{ReplaySampler, SeriesSample};

@@ -1,0 +1,472 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! histograms behind the [`MetricsSink`] trait.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lock-free on the hot path.** Every update
+//!    ([`MetricsSink::counter_add`], [`MetricsSink::gauge_set`],
+//!    [`MetricsSink::observe`]) is a single atomic RMW on a pre-allocated
+//!    slot — no locks, no allocation, no branching beyond the bounds
+//!    check. Only [`MetricsSink::register`] (called at attach time, never
+//!    per request) takes a mutex.
+//! 2. **Zero cost when disabled.** [`NoopSink`] answers
+//!    [`MetricsSink::enabled`] with `false`; instrumented code gates its
+//!    bookkeeping on that flag, so a bench replay with the no-op sink
+//!    stays allocation-free and at full throughput.
+//! 3. **Deterministic export.** [`MetricsRegistry::snapshot`] returns
+//!    metrics in registration order with plain integer values, so a
+//!    per-replay registry serialises byte-identically across runs and
+//!    worker counts. Wall-clock-derived metrics are registered as
+//!    [`MetricKind::TimingHistogram`] and can be filtered out of
+//!    deterministic exports.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{bucket_index, HistogramSnapshot, BUCKETS};
+
+/// What a registered metric measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing sum (`counter_add`).
+    Counter,
+    /// A last-write-wins instantaneous value (`gauge_set`).
+    Gauge,
+    /// A log-bucketed distribution of deterministic values (`observe`),
+    /// e.g. fill chunks per request or eviction batch sizes.
+    Histogram,
+    /// A log-bucketed distribution of wall-clock-derived values
+    /// (`observe`), e.g. decision latency in nanoseconds. Excluded from
+    /// deterministic exports because timings differ across machines and
+    /// runs.
+    TimingHistogram,
+}
+
+impl MetricKind {
+    /// Short lowercase name used in JSONL exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::TimingHistogram => "timing_histogram",
+        }
+    }
+
+    /// Whether the metric's values are reproducible across identical
+    /// replays (everything except wall-clock timings).
+    pub fn deterministic(self) -> bool {
+        !matches!(self, MetricKind::TimingHistogram)
+    }
+}
+
+/// Opaque handle to a registered metric; indexes the registry's slot
+/// table. Obtained from [`MetricsSink::register`] and passed back to the
+/// update methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub(crate) u32);
+
+impl MetricId {
+    /// The id every [`NoopSink`] registration returns. Updates against it
+    /// on a real registry are ignored (slot 0 is reserved as a sink-hole),
+    /// so mixing a handle from a no-op attach into a live registry cannot
+    /// corrupt named metrics.
+    pub const NOOP: MetricId = MetricId(0);
+}
+
+/// The sink instrumented code writes through.
+///
+/// The hot-path methods take `&self` and must be cheap and thread-safe;
+/// [`MetricsRegistry`] implements them as single atomic operations.
+/// Instrumented code holds an `Arc<dyn MetricsSink>` plus the
+/// [`MetricId`]s it registered up front.
+pub trait MetricsSink: Send + Sync {
+    /// Whether this sink records anything. Instrumentation gates optional
+    /// bookkeeping (e.g. reading the clock for latency histograms) on
+    /// this, so the no-op sink costs one predictable branch.
+    fn enabled(&self) -> bool;
+
+    /// Registers (or looks up) a metric by name. Not a hot-path method:
+    /// call it once at attach time and keep the returned id. Registering
+    /// the same name twice returns the same id; the kind must match.
+    fn register(&self, name: &str, kind: MetricKind) -> MetricId;
+
+    /// Adds `delta` to a counter.
+    fn counter_add(&self, id: MetricId, delta: u64);
+
+    /// Sets a gauge to `value`.
+    fn gauge_set(&self, id: MetricId, value: u64);
+
+    /// Records `value` into a histogram.
+    fn observe(&self, id: MetricId, value: u64);
+}
+
+/// A sink that records nothing and reports itself disabled.
+///
+/// [`NoopSink::shared`] returns a process-wide instance so detached
+/// policies don't allocate one each.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl NoopSink {
+    /// A shared no-op sink.
+    pub fn shared() -> Arc<NoopSink> {
+        static SHARED: Mutex<Option<Arc<NoopSink>>> = Mutex::new(None);
+        SHARED
+            .lock()
+            .expect("noop sink mutex poisoned")
+            .get_or_insert_with(|| Arc::new(NoopSink))
+            .clone()
+    }
+}
+
+impl MetricsSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn register(&self, _name: &str, _kind: MetricKind) -> MetricId {
+        MetricId::NOOP
+    }
+
+    fn counter_add(&self, _id: MetricId, _delta: u64) {}
+
+    fn gauge_set(&self, _id: MetricId, _value: u64) {}
+
+    fn observe(&self, _id: MetricId, _value: u64) {}
+}
+
+/// One metric's pre-allocated atomic storage.
+///
+/// Counters and gauges use `value`; histograms use `value` as the sample
+/// count, `sum` as the sample sum, and the per-bucket counts.
+struct Slot {
+    value: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            value: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Registration-time metadata, guarded by a mutex (cold path only).
+struct Names {
+    /// `(name, kind)` per live slot, indexed by `MetricId - 1`.
+    entries: Vec<(String, MetricKind)>,
+}
+
+/// The concrete sink: a fixed-capacity table of atomic slots.
+///
+/// Capacity is fixed at construction so the hot path indexes a stable
+/// allocation without any lock; [`MetricsSink::register`] panics if the
+/// capacity is exhausted (size the registry generously — a slot is a few
+/// hundred bytes).
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_obs::{MetricKind, MetricsRegistry, MetricsSink};
+///
+/// let reg = MetricsRegistry::new();
+/// let fills = reg.register("fill_chunks_total", MetricKind::Counter);
+/// reg.counter_add(fills, 3);
+/// reg.counter_add(fills, 4);
+/// let snap = reg.snapshot(true);
+/// assert_eq!(snap[0].name, "fill_chunks_total");
+/// assert_eq!(snap[0].value, 7);
+/// ```
+pub struct MetricsRegistry {
+    /// Slot 0 is a reserved sink-hole for [`MetricId::NOOP`]; live metrics
+    /// start at slot 1.
+    slots: Box<[Slot]>,
+    names: Mutex<Names>,
+    /// Live slot count, including the reserved slot 0.
+    len: AtomicUsize,
+}
+
+/// Default capacity: far above what one replay registers (a few dozen).
+const DEFAULT_CAPACITY: usize = 256;
+
+/// A metric's exported state: deterministic integers only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// The registered name.
+    pub name: String,
+    /// The registered kind.
+    pub kind: MetricKind,
+    /// Counter/gauge value; for histograms, the sample count.
+    pub value: u64,
+    /// Histogram sample sum (`0` for counters and gauges).
+    pub sum: u64,
+    /// Histogram bucket counts (empty for counters and gauges).
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry with the default slot capacity.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a registry holding at most `capacity` metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> MetricsRegistry {
+        assert!(capacity > 0, "registry capacity must be > 0");
+        MetricsRegistry {
+            // +1 for the reserved NOOP sink-hole slot.
+            slots: (0..capacity + 1).map(|_| Slot::new()).collect(),
+            names: Mutex::new(Names {
+                entries: Vec::new(),
+            }),
+            len: AtomicUsize::new(1),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) - 1
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot(&self, id: MetricId) -> Option<&Slot> {
+        let i = id.0 as usize;
+        // Slot 0 (NOOP) and out-of-range ids are ignored, never UB.
+        if i == 0 || i >= self.len.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(&self.slots[i])
+    }
+
+    /// Exports every metric in registration order. With
+    /// `deterministic_only`, wall-clock timing histograms are skipped so
+    /// the result is byte-identical across identical replays.
+    pub fn snapshot(&self, deterministic_only: bool) -> Vec<MetricSnapshot> {
+        let names = self.names.lock().expect("registry mutex poisoned");
+        names
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, kind))| !deterministic_only || kind.deterministic())
+            .map(|(i, (name, kind))| {
+                let slot = &self.slots[i + 1];
+                let histogram = match kind {
+                    MetricKind::Histogram | MetricKind::TimingHistogram => {
+                        Some(HistogramSnapshot {
+                            count: slot.value.load(Ordering::Acquire),
+                            sum: slot.sum.load(Ordering::Acquire),
+                            buckets: slot
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Acquire))
+                                .collect(),
+                        })
+                    }
+                    _ => None,
+                };
+                MetricSnapshot {
+                    name: name.clone(),
+                    kind: *kind,
+                    value: slot.value.load(Ordering::Acquire),
+                    sum: slot.sum.load(Ordering::Acquire),
+                    histogram,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("len", &self.len())
+            .field("capacity", &(self.slots.len() - 1))
+            .finish()
+    }
+}
+
+impl MetricsSink for MetricsRegistry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn register(&self, name: &str, kind: MetricKind) -> MetricId {
+        let mut names = self.names.lock().expect("registry mutex poisoned");
+        if let Some(i) = names.entries.iter().position(|(n, _)| n == name) {
+            assert_eq!(
+                names.entries[i].1, kind,
+                "metric `{name}` re-registered with a different kind"
+            );
+            return MetricId(i as u32 + 1);
+        }
+        let next = self.len.load(Ordering::Acquire);
+        assert!(
+            next < self.slots.len(),
+            "metrics registry capacity ({}) exhausted registering `{name}`",
+            self.slots.len() - 1
+        );
+        names.entries.push((name.to_string(), kind));
+        // Publish the new slot only after the metadata exists; readers
+        // acquire-load `len`, so they never see a slot without its name.
+        self.len.store(next + 1, Ordering::Release);
+        MetricId(next as u32)
+    }
+
+    fn counter_add(&self, id: MetricId, delta: u64) {
+        if let Some(slot) = self.slot(id) {
+            slot.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    fn gauge_set(&self, id: MetricId, value: u64) {
+        if let Some(slot) = self.slot(id) {
+            slot.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    fn observe(&self, id: MetricId, value: u64) {
+        if let Some(slot) = self.slot(id) {
+            slot.value.fetch_add(1, Ordering::Relaxed);
+            slot.sum.fetch_add(value, Ordering::Relaxed);
+            slot.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.register("c", MetricKind::Counter);
+        reg.counter_add(c, 1);
+        reg.counter_add(c, 41);
+        assert_eq!(reg.snapshot(true)[0].value, 42);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.register("g", MetricKind::Gauge);
+        reg.gauge_set(g, 7);
+        reg.gauge_set(g, 3);
+        assert_eq!(reg.snapshot(true)[0].value, 3);
+    }
+
+    #[test]
+    fn histograms_track_count_sum_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.register("h", MetricKind::Histogram);
+        for v in [0, 1, 5, 5, 1024] {
+            reg.observe(h, v);
+        }
+        let snap = &reg.snapshot(true)[0];
+        assert_eq!(snap.value, 5);
+        assert_eq!(snap.sum, 1035);
+        let hist = snap.histogram.as_ref().unwrap();
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn reregistration_returns_same_id() {
+        let reg = MetricsRegistry::new();
+        let a = reg.register("x", MetricKind::Counter);
+        let b = reg.register("x", MetricKind::Counter);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        reg.register("x", MetricKind::Counter);
+        reg.register("x", MetricKind::Gauge);
+    }
+
+    #[test]
+    fn noop_id_is_a_sink_hole() {
+        let reg = MetricsRegistry::new();
+        let c = reg.register("c", MetricKind::Counter);
+        reg.counter_add(MetricId::NOOP, 100);
+        reg.counter_add(c, 1);
+        assert_eq!(reg.snapshot(true)[0].value, 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let reg = MetricsRegistry::new();
+        reg.register("b", MetricKind::Counter);
+        reg.register("a", MetricKind::Gauge);
+        let snap = reg.snapshot(true);
+        let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn deterministic_snapshot_skips_timing() {
+        let reg = MetricsRegistry::new();
+        reg.register("lat", MetricKind::TimingHistogram);
+        reg.register("fills", MetricKind::Counter);
+        assert_eq!(reg.snapshot(true).len(), 1);
+        assert_eq!(reg.snapshot(false).len(), 2);
+    }
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let s = NoopSink::shared();
+        assert!(!s.enabled());
+        let id = s.register("anything", MetricKind::Counter);
+        assert_eq!(id, MetricId::NOOP);
+        s.counter_add(id, 5);
+        s.gauge_set(id, 5);
+        s.observe(id, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_exhaustion_panics() {
+        let reg = MetricsRegistry::with_capacity(1);
+        reg.register("a", MetricKind::Counter);
+        reg.register("b", MetricKind::Counter);
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let c = reg.register("c", MetricKind::Counter);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        reg.counter_add(c, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot(true)[0].value, 40_000);
+    }
+}

@@ -1,0 +1,336 @@
+//! The replay time-series sampler: periodic snapshots of cache behavior
+//! over *trace time*.
+//!
+//! The paper's evaluation is time-resolved — cache-efficiency warm-up
+//! curves, fill/redirect byte breakdowns and cache-age dynamics per server
+//! (§9, Figs. 3, 6) — but an end-of-run aggregate throws that structure
+//! away. [`ReplaySampler`] closes the gap: fed once per replayed request,
+//! it accumulates traffic per fixed interval of trace time and emits one
+//! [`SeriesSample`] per elapsed interval, including empty ones, so the
+//! series is a complete, evenly spaced grid.
+//!
+//! Determinism: samples carry exact integer byte counters plus floats
+//! derived only from them, so a sampler fed the same replay produces
+//! byte-identical output regardless of wall-clock, thread count or
+//! machine. The cumulative counters reproduce the replay's aggregate
+//! exactly: the last sample's `cum_*` fields equal the run's overall
+//! [`TrafficCounter`], making the Eq. 2 identity testable to the bit.
+
+use vcdn_types::json::{Json, ToJson};
+use vcdn_types::{CostModel, TrafficCounter};
+
+/// One interval's snapshot of replay behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSample {
+    /// Interval start (trace ms).
+    pub t_ms: u64,
+    /// Traffic accumulated within this interval alone.
+    pub interval: TrafficCounter,
+    /// Traffic accumulated from replay start through this interval's end.
+    pub cum: TrafficCounter,
+    /// Eq. 2 efficiency over this interval alone (`0.0` for an interval
+    /// with no requested bytes — the zero-request guard, not `NaN`).
+    pub efficiency: f64,
+    /// Eq. 2 efficiency from replay start through this interval's end.
+    pub cum_efficiency: f64,
+    /// Chunks on disk at the last decision at or before interval end.
+    pub occupancy_chunks: u64,
+    /// Disk capacity in chunks.
+    pub capacity_chunks: u64,
+    /// Policy cache age (ms) at the last decision observed, where the
+    /// policy defines one.
+    pub cache_age_ms: Option<f64>,
+}
+
+impl ToJson for SeriesSample {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("sample".into())),
+            ("t_ms".into(), Json::Int(self.t_ms as i128)),
+            (
+                "hit_bytes".into(),
+                Json::Int(self.interval.hit_bytes as i128),
+            ),
+            (
+                "fill_bytes".into(),
+                Json::Int(self.interval.fill_bytes as i128),
+            ),
+            (
+                "redirect_bytes".into(),
+                Json::Int(self.interval.redirect_bytes as i128),
+            ),
+            (
+                "served_requests".into(),
+                Json::Int(self.interval.served_requests as i128),
+            ),
+            (
+                "redirected_requests".into(),
+                Json::Int(self.interval.redirected_requests as i128),
+            ),
+            ("efficiency".into(), Json::Float(self.efficiency)),
+            (
+                "cum_hit_bytes".into(),
+                Json::Int(self.cum.hit_bytes as i128),
+            ),
+            (
+                "cum_fill_bytes".into(),
+                Json::Int(self.cum.fill_bytes as i128),
+            ),
+            (
+                "cum_redirect_bytes".into(),
+                Json::Int(self.cum.redirect_bytes as i128),
+            ),
+            ("cum_efficiency".into(), Json::Float(self.cum_efficiency)),
+            (
+                "occupancy_chunks".into(),
+                Json::Int(self.occupancy_chunks as i128),
+            ),
+            (
+                "capacity_chunks".into(),
+                Json::Int(self.capacity_chunks as i128),
+            ),
+            ("cache_age_ms".into(), self.cache_age_ms.to_json()),
+        ])
+    }
+}
+
+/// Accumulates per-request traffic into fixed trace-time intervals.
+///
+/// Feed every request through [`ReplaySampler::record`]; call
+/// [`ReplaySampler::finish`] after the replay to flush the open interval
+/// and take the samples.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_obs::ReplaySampler;
+/// use vcdn_types::CostModel;
+///
+/// let mut s = ReplaySampler::new(1_000, CostModel::balanced());
+/// s.record(100, 80, 20, 0, 4, 8, None); // t=100ms: 80B hit, 20B fill
+/// s.record(2_500, 0, 0, 50, 4, 8, None); // t=2.5s: 50B redirected
+/// let samples = s.finish();
+/// assert_eq!(samples.len(), 3); // intervals [0,1s) [1s,2s) [2s,3s)
+/// assert_eq!(samples[1].interval.requested_bytes(), 0); // empty, not NaN
+/// assert_eq!(samples[1].efficiency, 0.0);
+/// assert_eq!(samples[2].cum.requested_bytes(), 150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplaySampler {
+    interval_ms: u64,
+    costs: CostModel,
+    /// Start of the currently open interval (trace ms).
+    open_start: u64,
+    open: TrafficCounter,
+    cum: TrafficCounter,
+    occupancy_chunks: u64,
+    capacity_chunks: u64,
+    cache_age_ms: Option<f64>,
+    samples: Vec<SeriesSample>,
+    saw_request: bool,
+}
+
+impl ReplaySampler {
+    /// Creates a sampler emitting one sample per `interval_ms` of trace
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ms == 0`.
+    pub fn new(interval_ms: u64, costs: CostModel) -> ReplaySampler {
+        assert!(interval_ms > 0, "sample interval must be > 0");
+        ReplaySampler {
+            interval_ms,
+            costs,
+            open_start: 0,
+            open: TrafficCounter::default(),
+            cum: TrafficCounter::default(),
+            occupancy_chunks: 0,
+            capacity_chunks: 0,
+            cache_age_ms: None,
+            samples: Vec::new(),
+            saw_request: false,
+        }
+    }
+
+    /// The configured interval (ms).
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    fn close_open_interval(&mut self) {
+        self.samples.push(SeriesSample {
+            t_ms: self.open_start,
+            interval: self.open,
+            cum: self.cum,
+            efficiency: self.open.efficiency(self.costs),
+            cum_efficiency: self.cum.efficiency(self.costs),
+            occupancy_chunks: self.occupancy_chunks,
+            capacity_chunks: self.capacity_chunks,
+            cache_age_ms: self.cache_age_ms,
+        });
+        self.open = TrafficCounter::default();
+        self.open_start += self.interval_ms;
+    }
+
+    /// Records one decided request. Bytes are chunk-granularity byte
+    /// counts (exactly one of `fill`+`hit` or `redirect` is nonzero per
+    /// the replay accounting); `occupancy`/`capacity` are the policy's
+    /// disk state after the decision, and `cache_age_ms` the policy's
+    /// cache age where defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_ms` moves backwards past an already closed interval
+    /// (replay time is non-decreasing).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        t_ms: u64,
+        hit_bytes: u64,
+        fill_bytes: u64,
+        redirect_bytes: u64,
+        occupancy: u64,
+        capacity: u64,
+        cache_age_ms: Option<f64>,
+    ) {
+        assert!(
+            t_ms >= self.open_start,
+            "sampler fed out of order: t={t_ms}ms before interval start {}ms",
+            self.open_start
+        );
+        self.saw_request = true;
+        // Close every interval that ended before this request.
+        while t_ms >= self.open_start + self.interval_ms {
+            self.close_open_interval();
+        }
+        self.open.record_hit(hit_bytes);
+        self.open.record_fill(fill_bytes);
+        self.open.record_redirect(redirect_bytes);
+        self.cum.record_hit(hit_bytes);
+        self.cum.record_fill(fill_bytes);
+        self.cum.record_redirect(redirect_bytes);
+        if redirect_bytes > 0 {
+            self.open.redirected_requests += 1;
+            self.cum.redirected_requests += 1;
+        } else {
+            self.open.served_requests += 1;
+            self.cum.served_requests += 1;
+        }
+        self.occupancy_chunks = occupancy;
+        self.capacity_chunks = capacity;
+        if cache_age_ms.is_some() {
+            self.cache_age_ms = cache_age_ms;
+        }
+    }
+
+    /// Flushes the open interval and returns the complete series. An
+    /// entirely unfed sampler returns no samples.
+    pub fn finish(mut self) -> Vec<SeriesSample> {
+        if self.saw_request {
+            self.close_open_interval();
+        }
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_counters_match_total_exactly() {
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut s = ReplaySampler::new(500, costs);
+        let mut total = TrafficCounter::default();
+        for i in 0..50u64 {
+            let (h, f, r) = match i % 3 {
+                0 => (100, 20, 0),
+                1 => (0, 0, 70),
+                _ => (40, 0, 0),
+            };
+            s.record(i * 97, h, f, r, i, 100, Some(i as f64));
+            total.record_hit(h);
+            total.record_fill(f);
+            total.record_redirect(r);
+            if r > 0 {
+                total.redirected_requests += 1;
+            } else {
+                total.served_requests += 1;
+            }
+        }
+        let samples = s.finish();
+        let last = samples.last().unwrap();
+        assert_eq!(last.cum, total);
+        assert_eq!(last.cum_efficiency, total.efficiency(costs));
+        // Interval counters sum to the total too.
+        let sum = samples
+            .iter()
+            .fold(TrafficCounter::default(), |acc, w| acc + w.interval);
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn empty_intervals_are_emitted_with_zero_efficiency() {
+        let mut s = ReplaySampler::new(100, CostModel::balanced());
+        s.record(50, 10, 0, 0, 1, 4, None);
+        s.record(950, 10, 0, 0, 2, 4, None);
+        let samples = s.finish();
+        assert_eq!(samples.len(), 10);
+        for sample in &samples[1..9] {
+            assert_eq!(sample.interval.requested_bytes(), 0);
+            assert_eq!(sample.efficiency, 0.0);
+            assert!(sample.efficiency.is_finite());
+            // Cumulative state persists through the gap.
+            assert_eq!(sample.cum.hit_bytes, 10);
+            assert_eq!(sample.occupancy_chunks, 1);
+        }
+    }
+
+    #[test]
+    fn sample_grid_is_evenly_spaced() {
+        let mut s = ReplaySampler::new(250, CostModel::balanced());
+        s.record(0, 1, 0, 0, 1, 1, None);
+        s.record(1_100, 1, 0, 0, 1, 1, None);
+        let samples = s.finish();
+        let starts: Vec<u64> = samples.iter().map(|x| x.t_ms).collect();
+        assert_eq!(starts, vec![0, 250, 500, 750, 1000]);
+    }
+
+    #[test]
+    fn unfed_sampler_yields_no_samples() {
+        let s = ReplaySampler::new(1000, CostModel::balanced());
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn cache_age_holds_last_known_value() {
+        let mut s = ReplaySampler::new(100, CostModel::balanced());
+        s.record(10, 1, 0, 0, 1, 2, Some(42.0));
+        s.record(150, 1, 0, 0, 1, 2, None);
+        let samples = s.finish();
+        assert_eq!(samples[0].cache_age_ms, Some(42.0));
+        assert_eq!(samples[1].cache_age_ms, Some(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn time_reversal_is_rejected() {
+        let mut s = ReplaySampler::new(100, CostModel::balanced());
+        s.record(500, 1, 0, 0, 1, 1, None);
+        s.record(10, 1, 0, 0, 1, 1, None);
+    }
+
+    #[test]
+    fn sample_serialises_to_flat_object() {
+        let mut s = ReplaySampler::new(100, CostModel::balanced());
+        s.record(10, 80, 20, 0, 3, 8, Some(7.5));
+        let sample = &s.finish()[0];
+        let parsed = vcdn_types::json::parse(&sample.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("sample"));
+        assert_eq!(parsed.get("hit_bytes"), Some(&Json::Int(80)));
+        assert_eq!(parsed.get("occupancy_chunks"), Some(&Json::Int(3)));
+        assert_eq!(parsed.get("cache_age_ms"), Some(&Json::Float(7.5)));
+        assert_eq!(parsed.get("efficiency"), Some(&Json::Float(0.8)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Randomized property tests for the log-bucketed histogram: bucket
+//! geometry, sample conservation and exact count/sum recovery through the
+//! registry's atomic slots.
+//!
+//! The workspace builds offline, so instead of an external property-test
+//! framework these run a fixed number of cases drawn from a small
+//! deterministic SplitMix64 generator; failures print the case seed.
+
+use std::sync::Arc;
+
+use vcdn_obs::histogram::{bucket_index, bucket_lower, bucket_upper, BUCKETS};
+use vcdn_obs::{MetricKind, MetricsRegistry, MetricsSink};
+
+const CASES: u64 = 512;
+
+/// Minimal deterministic generator (SplitMix64) for test-case inputs.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// A value spanning the full bucket spectrum: uniform bit width, then
+    /// uniform within that width (plain uniform u64s almost never land in
+    /// low buckets).
+    fn spread(&mut self) -> u64 {
+        let bits = self.range(0, 65);
+        if bits == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (bits - 1);
+        let hi = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+fn for_each_case(test: impl Fn(&mut TestRng, u64)) {
+    for case in 0..CASES {
+        let mut rng = TestRng(0x0B5E ^ case.wrapping_mul(0x2545F4914F6CDD1D));
+        test(&mut rng, case);
+    }
+}
+
+#[test]
+fn bucket_edges_are_monotone_and_contiguous() {
+    // Bucket i's range starts exactly one past bucket i-1's end, and the
+    // edges strictly increase — no gaps, no overlaps, full u64 coverage.
+    assert_eq!(bucket_lower(0), 0);
+    assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    for i in 1..BUCKETS {
+        assert!(
+            bucket_lower(i) > bucket_upper(i - 1) || bucket_upper(i - 1) == bucket_lower(i) - 1,
+            "gap/overlap at bucket {i}"
+        );
+        assert_eq!(bucket_lower(i), bucket_upper(i - 1) + 1, "bucket {i} edge");
+        assert!(bucket_lower(i) <= bucket_upper(i), "inverted bucket {i}");
+        assert!(bucket_upper(i - 1) < bucket_upper(i), "non-monotone at {i}");
+    }
+}
+
+#[test]
+fn every_value_lands_inside_its_bucket() {
+    for_each_case(|rng, case| {
+        let v = rng.spread();
+        let i = bucket_index(v);
+        assert!(i < BUCKETS, "case {case}: index {i} out of range for {v}");
+        assert!(
+            (bucket_lower(i)..=bucket_upper(i)).contains(&v),
+            "case {case}: {v} outside bucket {i} [{}, {}]",
+            bucket_lower(i),
+            bucket_upper(i)
+        );
+    });
+}
+
+#[test]
+fn no_sample_is_lost_and_count_sum_recover_exactly() {
+    for_each_case(|rng, case| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let id = registry.register("t.h", MetricKind::Histogram);
+        let n = rng.range(1, 200);
+        let mut expected_count = 0u64;
+        let mut expected_sum = 0u128;
+        for _ in 0..n {
+            let v = rng.spread();
+            registry.observe(id, v);
+            expected_count += 1;
+            expected_sum += v as u128;
+        }
+        let snap = registry.snapshot(true);
+        let h = snap[0].histogram.as_ref().expect("histogram snapshot");
+        // Conservation: bucket counts sum to the observation count.
+        assert_eq!(
+            h.buckets.iter().sum::<u64>(),
+            expected_count,
+            "case {case}: samples lost"
+        );
+        assert_eq!(h.count, expected_count, "case {case}: count mismatch");
+        // Sum recovers exactly (modulo u64 wrap, which the atomic shares).
+        assert_eq!(h.sum, expected_sum as u64, "case {case}: sum mismatch");
+    });
+}
+
+#[test]
+fn bucketed_samples_bound_the_true_values() {
+    // Replaying the snapshot's buckets as (count, lower, upper) triples
+    // brackets the true sum — the guarantee quantile estimates rest on.
+    for_each_case(|rng, case| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let id = registry.register("t.h", MetricKind::Histogram);
+        let n = rng.range(1, 100);
+        let mut true_sum = 0u128;
+        for _ in 0..n {
+            // Cap at 2^32 so the upper-bound sum cannot overflow u128.
+            let v = rng.spread() & 0xFFFF_FFFF;
+            registry.observe(id, v);
+            true_sum += v as u128;
+        }
+        let snap = registry.snapshot(true);
+        let h = snap[0].histogram.as_ref().expect("histogram snapshot");
+        let lower: u128 = h
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as u128 * bucket_lower(i) as u128)
+            .sum();
+        let upper: u128 = h
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as u128 * bucket_upper(i) as u128)
+            .sum();
+        assert!(
+            lower <= true_sum && true_sum <= upper,
+            "case {case}: true sum {true_sum} outside bucket bounds [{lower}, {upper}]"
+        );
+    });
+}

@@ -28,6 +28,7 @@ pub mod diskalloc;
 pub mod fleet;
 pub mod hierarchy;
 pub mod models;
+pub mod observe;
 pub mod replay;
 pub mod report;
 pub mod runner;
@@ -36,6 +37,9 @@ pub mod shard;
 pub use fleet::{replay_fleet, FleetReport};
 pub use hierarchy::{replay_hierarchy, HierarchyReport};
 pub use models::{DiskIoModel, EgressModel, EgressSummary};
-pub use replay::{ReplayConfig, ReplayReport, Replayer, WindowStat};
+pub use observe::{
+    grid_jsonl, replay_with_telemetry, telemetry_cell, TelemetryConfig, TelemetryObserver,
+};
+pub use replay::{DecisionCtx, ReplayConfig, ReplayObserver, ReplayReport, Replayer, WindowStat};
 pub use report::Table;
 pub use runner::{run_grid, worker_count, Cell, CellResult, GridRun};

@@ -1,0 +1,413 @@
+//! Telemetry collection for replays: wires a [`ReplayObserver`] to the
+//! `vcdn-obs` registry, decision-event ring and time-series sampler, and
+//! packages one replay's output as a [`TelemetryBundle`].
+//!
+//! [`replay_with_telemetry`] is the one-call entry point: it attaches
+//! scoped policy metrics, observes the replay, and returns the report
+//! plus a JSONL-ready bundle. [`telemetry_cell`] wraps the same call as a
+//! [`Cell`] for [`crate::runner::run_grid`] fan-out — each cell owns its
+//! policy, registry, ring and sampler, so a grid's bundles are
+//! byte-identical for any worker count.
+
+use std::sync::Arc;
+
+use vcdn_core::CachePolicy;
+use vcdn_obs::{
+    DecisionEvent, EventRing, MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs,
+    ReplaySampler, TelemetryBundle, Verdict,
+};
+use vcdn_trace::Trace;
+use vcdn_types::json::Json;
+use vcdn_types::{Decision, DurationMs};
+
+use crate::replay::{DecisionCtx, ReplayObserver, ReplayReport, Replayer};
+use crate::runner::{Cell, CellResult};
+
+/// Telemetry collection knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Trace-time length of one [`vcdn_obs::SeriesSample`] interval.
+    pub sample_interval: DurationMs,
+    /// Decision events retained (the [`EventRing`] capacity); older events
+    /// are displaced and counted as dropped.
+    pub event_capacity: usize,
+    /// Wall-clock-time every `handle_request` call into the
+    /// `decision_latency_ns` timing histogram. Inherently
+    /// non-deterministic, so the histogram never appears in exported
+    /// bundles; off by default.
+    pub time_decisions: bool,
+}
+
+impl TelemetryConfig {
+    /// Hourly samples, 4096 retained events, no wall-clock timing.
+    pub fn new() -> TelemetryConfig {
+        TelemetryConfig {
+            sample_interval: DurationMs::HOUR,
+            event_capacity: 4096,
+            time_decisions: false,
+        }
+    }
+
+    /// Overrides the sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_sample_interval(mut self, interval: DurationMs) -> Self {
+        assert!(interval.as_millis() > 0, "sample interval must be > 0");
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Overrides the event-ring capacity.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "event capacity must be > 0");
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Enables wall-clock decision timing.
+    pub fn with_time_decisions(mut self, on: bool) -> Self {
+        self.time_decisions = on;
+        self
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::new()
+    }
+}
+
+/// A [`ReplayObserver`] that records every decision into a metrics
+/// registry, a bounded event ring and a trace-time sampler.
+///
+/// Construct with [`TelemetryObserver::new`], attach the same registry to
+/// the policy (see [`replay_with_telemetry`], which does both), replay
+/// with [`Replayer::replay_observed`], then call
+/// [`TelemetryObserver::finish`] for the bundle.
+pub struct TelemetryObserver {
+    registry: Arc<MetricsRegistry>,
+    latency_id: MetricId,
+    ring: EventRing,
+    sampler: ReplaySampler,
+    chunk_bytes: u64,
+    time_decisions: bool,
+    meta: Vec<(String, Json)>,
+}
+
+impl TelemetryObserver {
+    /// Creates an observer recording into `registry` under `scope` (the
+    /// same scope the policy's [`PolicyObs`] uses, so the latency
+    /// histogram lands next to the policy's own metrics).
+    pub fn new(
+        registry: Arc<MetricsRegistry>,
+        replayer: &Replayer,
+        telemetry: &TelemetryConfig,
+        scope: &str,
+    ) -> TelemetryObserver {
+        let cfg = replayer.config();
+        let latency_id = registry.register(
+            &format!("{scope}.decision_latency_ns"),
+            MetricKind::TimingHistogram,
+        );
+        TelemetryObserver {
+            registry,
+            latency_id,
+            ring: EventRing::new(telemetry.event_capacity),
+            sampler: ReplaySampler::new(telemetry.sample_interval.as_millis(), cfg.costs),
+            chunk_bytes: cfg.chunk_size.bytes(),
+            time_decisions: telemetry.time_decisions,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Adds a metadata entry to the eventual bundle's meta line.
+    pub fn meta_entry(&mut self, key: &str, value: Json) -> &mut Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// The registry this observer records into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Consumes the observer, assembling the bundle: meta entries, the
+    /// registry's deterministic metric snapshots, the time series and the
+    /// retained events.
+    pub fn finish(self) -> TelemetryBundle {
+        let mut bundle = TelemetryBundle::new();
+        bundle.meta = self.meta;
+        bundle.metrics = self.registry.snapshot(true);
+        bundle.events_dropped = self.ring.dropped();
+        bundle.events = self.ring.iter_oldest_first().cloned().collect();
+        bundle.series = self.sampler.finish();
+        bundle
+    }
+}
+
+impl ReplayObserver for TelemetryObserver {
+    fn wants_timing(&self) -> bool {
+        self.time_decisions
+    }
+
+    fn on_decision(&mut self, ctx: &DecisionCtx<'_>) {
+        let (verdict, hit_b, fill_b, red_b, evicted) = match ctx.decision {
+            Decision::Serve(o) => (
+                Verdict::Serve {
+                    hit_chunks: o.hit_chunks,
+                    filled_chunks: o.filled_chunks,
+                },
+                o.hit_chunks * self.chunk_bytes,
+                o.filled_chunks * self.chunk_bytes,
+                0,
+                o.evicted.len() as u64,
+            ),
+            Decision::Redirect => (Verdict::Redirect, 0, 0, ctx.chunks * self.chunk_bytes, 0),
+        };
+        self.ring.push(DecisionEvent::from_decision(
+            ctx.seq,
+            ctx.request,
+            ctx.first_chunk,
+            ctx.chunks as u32,
+            ctx.policy,
+            verdict,
+            ctx.detail,
+            evicted,
+        ));
+        self.sampler.record(
+            ctx.request.t.as_millis(),
+            hit_b,
+            fill_b,
+            red_b,
+            ctx.occupancy_chunks,
+            ctx.capacity_chunks,
+            ctx.detail.cache_age_ms,
+        );
+        if let Some(ns) = ctx.latency_ns {
+            self.registry.observe(self.latency_id, ns);
+        }
+    }
+}
+
+/// Replays `trace` through `policy` with full telemetry: attaches scoped
+/// policy metrics to a fresh registry, observes every decision, and
+/// returns the ordinary report alongside the telemetry bundle.
+///
+/// The bundle's meta line records the policy, cost model, chunk size,
+/// sample interval and trace identity; its metrics are the policy's
+/// scoped counters/gauges/histograms in registration order.
+pub fn replay_with_telemetry(
+    replayer: &Replayer,
+    trace: &Trace,
+    policy: &mut dyn CachePolicy,
+    telemetry: &TelemetryConfig,
+) -> (ReplayReport, TelemetryBundle) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let scope = policy.name();
+    policy.attach_obs(PolicyObs::attach(
+        Arc::clone(&registry) as Arc<dyn MetricsSink>,
+        scope,
+    ));
+    let mut observer = TelemetryObserver::new(Arc::clone(&registry), replayer, telemetry, scope);
+    let cfg = replayer.config();
+    observer.meta_entry("policy", Json::Str(scope.into()));
+    observer.meta_entry("alpha", Json::Float(cfg.costs.alpha()));
+    observer.meta_entry("chunk_bytes", Json::Int(cfg.chunk_size.bytes() as i128));
+    observer.meta_entry(
+        "interval_ms",
+        Json::Int(telemetry.sample_interval.as_millis() as i128),
+    );
+    observer.meta_entry("trace", Json::Str(trace.meta.name.clone()));
+    observer.meta_entry("requests", Json::Int(trace.len() as i128));
+    let report = replayer.replay_observed(trace, policy, &mut observer);
+    (report, observer.finish())
+}
+
+/// Wraps a telemetry replay as a [`Cell`] for [`crate::runner::run_grid`].
+///
+/// The policy is built *inside* the cell so every cell owns all of its
+/// state (policy, registry, ring, sampler) — the runner's determinism
+/// contract. The cell's label is recorded in the bundle's meta line as
+/// `"cell"`.
+pub fn telemetry_cell<'a, F>(
+    label: impl Into<String>,
+    replayer: Replayer,
+    trace: &'a Trace,
+    telemetry: TelemetryConfig,
+    make_policy: F,
+) -> Cell<'a, (ReplayReport, TelemetryBundle)>
+where
+    F: FnOnce() -> Box<dyn CachePolicy> + Send + 'a,
+{
+    let label = label.into();
+    let cell_label = label.clone();
+    Cell::new(label, move || {
+        let mut policy = make_policy();
+        let (report, mut bundle) =
+            replay_with_telemetry(&replayer, trace, policy.as_mut(), &telemetry);
+        bundle
+            .meta
+            .insert(0, ("cell".into(), Json::Str(cell_label)));
+        (report, bundle)
+    })
+}
+
+/// Concatenates a telemetry grid's bundles as one JSONL document, in cell
+/// input order — the deterministic export the observe bench writes and
+/// the determinism tests byte-compare.
+pub fn grid_jsonl(results: &[CellResult<(ReplayReport, TelemetryBundle)>]) -> String {
+    let mut out = String::new();
+    for cell in results {
+        out.push_str(&cell.value.1.to_jsonl());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::ReplayConfig;
+    use crate::runner::run_grid;
+    use vcdn_core::{CacheConfig, CafeCache, CafeConfig, LruCache, XlruCache};
+    use vcdn_trace::{ServerProfile, TraceGenerator};
+    use vcdn_types::json;
+    use vcdn_types::{ChunkSize, CostModel};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(ServerProfile::tiny_test(), 29).generate(DurationMs::from_hours(12))
+    }
+
+    fn replayer(costs: CostModel) -> Replayer {
+        Replayer::new(ReplayConfig::new(ChunkSize::DEFAULT, costs))
+    }
+
+    #[test]
+    fn telemetry_replay_matches_plain_replay() {
+        let t = trace();
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut plain = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let baseline = replayer(costs).replay(&t, &mut plain);
+
+        let mut observed = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let (report, bundle) =
+            replay_with_telemetry(&replayer(costs), &t, &mut observed, &TelemetryConfig::new());
+        assert_eq!(report, baseline);
+        assert!(!bundle.metrics.is_empty());
+        assert!(!bundle.series.is_empty());
+        assert!(!bundle.events.is_empty());
+    }
+
+    #[test]
+    fn series_cumulative_matches_aggregate_eq2() {
+        // The last sample's cumulative counters and efficiency must equal
+        // the replay's overall aggregate exactly (Eq. 2 identity).
+        let t = trace();
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut cache = CafeCache::new(CafeConfig::new(64, ChunkSize::DEFAULT, costs));
+        let (report, bundle) =
+            replay_with_telemetry(&replayer(costs), &t, &mut cache, &TelemetryConfig::new());
+        let last = bundle.series.last().unwrap();
+        assert_eq!(last.cum, report.overall);
+        assert_eq!(last.cum_efficiency, report.overall.efficiency(costs));
+    }
+
+    #[test]
+    fn metrics_agree_with_report_counters() {
+        let t = trace();
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let (report, bundle) =
+            replay_with_telemetry(&replayer(costs), &t, &mut cache, &TelemetryConfig::new());
+        let metric = |name: &str| {
+            bundle
+                .metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .value
+        };
+        assert_eq!(
+            metric("lru.serve_requests_total"),
+            report.overall.served_requests
+        );
+        assert_eq!(
+            metric("lru.redirect_requests_total"),
+            report.overall.redirected_requests
+        );
+        let k = ChunkSize::DEFAULT.bytes();
+        assert_eq!(metric("lru.hit_chunks_total") * k, report.overall.hit_bytes);
+        assert_eq!(
+            metric("lru.fill_chunks_total") * k,
+            report.overall.fill_bytes
+        );
+    }
+
+    #[test]
+    fn timing_histogram_never_exported() {
+        let t = trace();
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let cfg = TelemetryConfig::new().with_time_decisions(true);
+        let (_, bundle) = replay_with_telemetry(&replayer(costs), &t, &mut cache, &cfg);
+        assert!(bundle
+            .metrics
+            .iter()
+            .all(|m| !m.name.ends_with("decision_latency_ns")));
+    }
+
+    #[test]
+    fn every_jsonl_line_parses() {
+        let t = trace();
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut cache = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let cfg = TelemetryConfig::new().with_event_capacity(64);
+        let (_, bundle) = replay_with_telemetry(&replayer(costs), &t, &mut cache, &cfg);
+        let jsonl = bundle.to_jsonl();
+        for line in jsonl.lines() {
+            json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line}: {e:?}"));
+        }
+        // Ring capacity 64 on a non-trivial trace: drops must be counted.
+        assert_eq!(bundle.events.len(), 64);
+        assert!(bundle.events_dropped > 0);
+    }
+
+    #[test]
+    fn telemetry_grid_is_worker_count_invariant() {
+        let t = trace();
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let jsonl_for = |workers: usize| {
+            let cells = vec![
+                telemetry_cell(
+                    "xlru",
+                    replayer(costs),
+                    &t,
+                    TelemetryConfig::new(),
+                    move || {
+                        Box::new(XlruCache::new(CacheConfig::new(
+                            64,
+                            ChunkSize::DEFAULT,
+                            costs,
+                        ))) as Box<dyn CachePolicy>
+                    },
+                ),
+                telemetry_cell(
+                    "cafe",
+                    replayer(costs),
+                    &t,
+                    TelemetryConfig::new(),
+                    move || {
+                        Box::new(CafeCache::new(CafeConfig::new(
+                            64,
+                            ChunkSize::DEFAULT,
+                            costs,
+                        ))) as Box<dyn CachePolicy>
+                    },
+                ),
+            ];
+            grid_jsonl(&run_grid(cells, workers).results)
+        };
+        assert_eq!(jsonl_for(1), jsonl_for(4));
+    }
+}

@@ -12,8 +12,9 @@
 //! hourly windows for the Figure 3 time series.
 
 use vcdn_core::CachePolicy;
+use vcdn_obs::DecisionDetail;
 use vcdn_trace::Trace;
-use vcdn_types::{CostModel, Decision, DurationMs, Timestamp, TrafficCounter};
+use vcdn_types::{CostModel, Decision, DurationMs, Request, Timestamp, TrafficCounter};
 
 /// Replay options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +80,62 @@ impl ReplayConfig {
     }
 }
 
+/// Everything known about one replayed request at decision time, handed
+/// to a [`ReplayObserver`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionCtx<'a> {
+    /// 0-based request sequence number within the replay.
+    pub seq: u64,
+    /// The replayed request.
+    pub request: &'a Request,
+    /// Requested chunks under the replay's chunk size.
+    pub chunks: u64,
+    /// First requested chunk index.
+    pub first_chunk: u32,
+    /// The policy's decision.
+    pub decision: &'a Decision,
+    /// The policy's cost/age detail for this decision.
+    pub detail: DecisionDetail,
+    /// The deciding policy's name.
+    pub policy: &'static str,
+    /// Chunks on disk after the decision.
+    pub occupancy_chunks: u64,
+    /// Disk capacity in chunks.
+    pub capacity_chunks: u64,
+    /// Wall time `handle_request` took, when the observer asked for
+    /// timing (non-deterministic — excluded from deterministic exports).
+    pub latency_ns: Option<u64>,
+}
+
+/// Per-decision hook for [`Replayer::replay_observed`].
+///
+/// The unit type `()` is the no-op observer: its [`ReplayObserver::ACTIVE`]
+/// is `false`, so the observer branch (including the `decision_detail`
+/// call and the latency clock reads) compiles out of the hot loop entirely
+/// and [`Replayer::replay`] keeps its unobserved cost.
+pub trait ReplayObserver {
+    /// Whether this observer does anything; `false` erases all observer
+    /// work at compile time.
+    const ACTIVE: bool = true;
+
+    /// Whether `handle_request` should be wall-clock timed for
+    /// [`DecisionCtx::latency_ns`]. Defaults to `false`; timing is
+    /// inherently non-deterministic.
+    fn wants_timing(&self) -> bool {
+        false
+    }
+
+    /// Called once per replayed request, after accounting.
+    fn on_decision(&mut self, ctx: &DecisionCtx<'_>);
+}
+
+/// The no-op observer: replaying with it is identical to not observing.
+impl ReplayObserver for () {
+    const ACTIVE: bool = false;
+
+    fn on_decision(&mut self, _ctx: &DecisionCtx<'_>) {}
+}
+
 /// Per-window traffic statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowStat {
@@ -134,6 +191,11 @@ impl Replayer {
         Replayer { config }
     }
 
+    /// The replay configuration.
+    pub fn config(&self) -> &ReplayConfig {
+        &self.config
+    }
+
     /// Replays `trace` through `policy`, returning the traffic report.
     ///
     /// # Panics
@@ -142,6 +204,22 @@ impl Replayer {
     /// replay configuration, or (with `check_invariants`) if the policy
     /// violates its contract.
     pub fn replay(&self, trace: &Trace, policy: &mut dyn CachePolicy) -> ReplayReport {
+        self.replay_observed(trace, policy, &mut ())
+    }
+
+    /// Replays `trace` through `policy`, invoking `observer` once per
+    /// request. With the `()` observer this is exactly [`Replayer::replay`]
+    /// — the observer branch compiles out.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Replayer::replay`].
+    pub fn replay_observed<O: ReplayObserver>(
+        &self,
+        trace: &Trace,
+        policy: &mut dyn CachePolicy,
+        observer: &mut O,
+    ) -> ReplayReport {
         let cfg = &self.config;
         assert_eq!(
             policy.chunk_size(),
@@ -165,9 +243,16 @@ impl Replayer {
         let mut windows: Vec<WindowStat> = Vec::new();
         let window_ms = cfg.window.as_millis();
 
-        for request in &trace.requests {
+        let timed = O::ACTIVE && observer.wants_timing();
+        for (seq, request) in trace.requests.iter().enumerate() {
             let chunks = request.chunk_len(cfg.chunk_size);
+            let started = if timed {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             let decision = policy.handle_request(request);
+            let latency_ns = started.map(|t| t.elapsed().as_nanos() as u64);
 
             let widx = (request.t.as_millis() / window_ms) as usize;
             while windows.len() <= widx {
@@ -215,6 +300,21 @@ impl Replayer {
                         t.redirected_requests += 1;
                     });
                 }
+            }
+
+            if O::ACTIVE {
+                observer.on_decision(&DecisionCtx {
+                    seq: seq as u64,
+                    request,
+                    chunks,
+                    first_chunk: request.chunk_range(cfg.chunk_size).start,
+                    decision: &decision,
+                    detail: policy.decision_detail(),
+                    policy: policy.name(),
+                    occupancy_chunks: policy.disk_used_chunks(),
+                    capacity_chunks: policy.disk_capacity_chunks(),
+                    latency_ns,
+                });
             }
         }
 
@@ -379,5 +479,75 @@ mod tests {
     #[should_panic(expected = "steady_after")]
     fn bad_steady_fraction_rejected() {
         let _ = ReplayConfig::new(k100(), CostModel::balanced()).with_steady_after(1.0);
+    }
+
+    /// Counts what it sees; used to check the observer contract.
+    #[derive(Default)]
+    struct CountingObserver {
+        decisions: u64,
+        serves: u64,
+        redirects: u64,
+        chunks: u64,
+        last_seq: Option<u64>,
+        saw_latency: bool,
+        occupancy_ok: bool,
+        timing: bool,
+    }
+
+    impl ReplayObserver for CountingObserver {
+        fn wants_timing(&self) -> bool {
+            self.timing
+        }
+
+        fn on_decision(&mut self, ctx: &DecisionCtx<'_>) {
+            assert_eq!(ctx.seq, self.last_seq.map_or(0, |s| s + 1));
+            self.last_seq = Some(ctx.seq);
+            self.decisions += 1;
+            self.chunks += ctx.chunks;
+            match ctx.decision {
+                Decision::Serve(_) => self.serves += 1,
+                Decision::Redirect => self.redirects += 1,
+            }
+            self.saw_latency |= ctx.latency_ns.is_some();
+            self.occupancy_ok = ctx.occupancy_chunks <= ctx.capacity_chunks;
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_request_and_report_is_unchanged() {
+        let trace = TraceGenerator::new(vcdn_trace::ServerProfile::tiny_test(), 11)
+            .generate(DurationMs::from_hours(8));
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let cfg = ReplayConfig::new(ChunkSize::DEFAULT, costs);
+        let mut plain = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let baseline = Replayer::new(cfg).replay(&trace, &mut plain);
+
+        let mut observed = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let mut obs = CountingObserver::default();
+        let report = Replayer::new(cfg).replay_observed(&trace, &mut observed, &mut obs);
+
+        assert_eq!(report, baseline);
+        assert_eq!(obs.decisions as usize, trace.len());
+        assert_eq!(obs.serves, report.overall.served_requests);
+        assert_eq!(obs.redirects, report.overall.redirected_requests);
+        assert!(obs.occupancy_ok);
+        // Timing was not requested, so no clock was read.
+        assert!(!obs.saw_latency);
+    }
+
+    #[test]
+    fn observer_timing_is_opt_in() {
+        let trace = TraceGenerator::new(vcdn_trace::ServerProfile::tiny_test(), 11)
+            .generate(DurationMs::from_hours(1));
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let mut obs = CountingObserver {
+            timing: true,
+            ..CountingObserver::default()
+        };
+        Replayer::new(ReplayConfig::new(ChunkSize::DEFAULT, costs))
+            .replay_observed(&trace, &mut cache, &mut obs);
+        assert!(obs.decisions > 0);
+        assert!(obs.saw_latency);
     }
 }

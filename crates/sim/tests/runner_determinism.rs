@@ -6,6 +6,7 @@
 //! and with many, and asserts the two result vectors are identical.
 
 use vcdn_core::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
+use vcdn_sim::observe::{grid_jsonl, telemetry_cell, TelemetryConfig};
 use vcdn_sim::runner::{run_grid, Cell, CellResult};
 use vcdn_sim::{ReplayConfig, Replayer};
 use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
@@ -64,6 +65,47 @@ fn repeated_parallel_runs_agree_with_each_other() {
     let a = run_grid(sweep_cells(&trace), 5).results;
     let b = run_grid(sweep_cells(&trace), 3).results;
     assert_eq!(a, b);
+}
+
+/// The observability extension of the same guarantee: a telemetry grid's
+/// exported JSONL — metrics, time series and decision events for every
+/// (α × policy) cell — is byte-identical no matter the worker count.
+fn telemetry_jsonl(trace: &Trace, workers: usize) -> String {
+    let k = ChunkSize::DEFAULT;
+    let telemetry = TelemetryConfig::new().with_event_capacity(256);
+    let cells = [0.5, 2.0]
+        .into_iter()
+        .flat_map(|alpha| {
+            ["xlru", "cafe"].into_iter().map(move |name| {
+                let costs = CostModel::from_alpha(alpha).expect("valid alpha");
+                telemetry_cell(
+                    format!("alpha={alpha} {name}"),
+                    Replayer::new(ReplayConfig::new(k, costs)),
+                    trace,
+                    telemetry,
+                    move || -> Box<dyn CachePolicy> {
+                        match name {
+                            "xlru" => Box::new(XlruCache::new(CacheConfig::new(96, k, costs))),
+                            _ => Box::new(CafeCache::new(CafeConfig::new(96, k, costs))),
+                        }
+                    },
+                )
+            })
+        })
+        .collect();
+    grid_jsonl(&run_grid(cells, workers).results)
+}
+
+#[test]
+fn telemetry_export_is_byte_identical_across_worker_counts() {
+    let trace = trace();
+    let sequential = telemetry_jsonl(&trace, 1);
+    let parallel = telemetry_jsonl(&trace, 8);
+    assert!(!sequential.is_empty());
+    assert_eq!(
+        sequential, parallel,
+        "telemetry JSONL diverged across worker counts"
+    );
 }
 
 #[test]

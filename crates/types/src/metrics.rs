@@ -234,6 +234,28 @@ mod tests {
     }
 
     #[test]
+    fn requests_without_bytes_report_finite_zero() {
+        // A counter can legitimately hold requests but zero bytes (e.g. a
+        // telemetry interval whose only requests were zero-length). Every
+        // derived ratio must be 0.0 — never NaN from a 0/0.
+        let t = TrafficCounter {
+            served_requests: 3,
+            redirected_requests: 2,
+            ..TrafficCounter::default()
+        };
+        assert_eq!(t.requested_bytes(), 0);
+        assert_eq!(t.total_requests(), 5);
+        for costs in [CostModel::balanced(), CostModel::from_alpha(2.0).unwrap()] {
+            let e = t.efficiency(costs);
+            assert!(e.is_finite());
+            assert_eq!(e, 0.0);
+        }
+        assert_eq!(t.ingress_pct(), 0.0);
+        assert_eq!(t.redirect_pct(), 0.0);
+        assert_eq!(t.hit_rate(), 0.0);
+    }
+
+    #[test]
     fn percentages_match_definitions() {
         let t = sample();
         assert!((t.ingress_pct() - 200.0 / 900.0 * 100.0).abs() < 1e-9);
