@@ -49,7 +49,8 @@ fn main() {
 
     for target in [4.0, 8.0, 15.0] {
         let inner = CafeCache::new(CafeConfig::new(disk, k, base));
-        let mut ctl = ControlledCafeCache::new(inner, AlphaControlConfig::around(base, target));
+        let mut ctl = ControlledCafeCache::try_new(inner, AlphaControlConfig::around(base, target))
+            .expect("valid control config");
         let r = replayer.replay(&trace, &mut ctl);
         table.row(vec![
             format!("cafe+ctl (target {target}%)"),

@@ -14,6 +14,7 @@ use vcdn_core::{CafeCache, CafeConfig, PrefetchConfig, ProactiveCafeCache};
 use vcdn_sim::report::{eff, Table};
 use vcdn_sim::{ReplayConfig, Replayer};
 use vcdn_trace::ServerProfile;
+use vcdn_types::float::exactly_zero;
 use vcdn_types::{ChunkSize, CostModel};
 
 fn main() {
@@ -54,13 +55,13 @@ fn main() {
             ..PrefetchConfig::early_morning()
         };
         let inner = CafeCache::new(CafeConfig::new(disk, k, costs));
-        let mut pro = ProactiveCafeCache::new(inner, cfg);
+        let mut pro = ProactiveCafeCache::try_new(inner, cfg).expect("valid prefetch config");
         let r = replayer.replay(&trace, &mut pro);
         // Net efficiency: charge prefetch bytes as ingress at C_F against
         // the steady-state denominator.
         let total = r.steady.requested_bytes() as f64;
         let prefetch_bytes = pro.prefetched_chunks() * k.bytes();
-        let net = if total == 0.0 {
+        let net = if exactly_zero(total) {
             0.0
         } else {
             r.efficiency() - prefetch_bytes as f64 / total * costs.c_f()

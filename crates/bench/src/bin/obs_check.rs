@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 use vcdn_bench::arg_flag;
 use vcdn_obs::SCHEMA;
+use vcdn_types::float::exactly_zero;
 use vcdn_types::json::{self, Json};
 use vcdn_types::CostModel;
 
@@ -113,7 +114,7 @@ fn check_bundle(idx: usize, b: &Bundle, errs: &mut Vec<String>) {
         let fill = as_u64(last.get("cum_fill_bytes")).unwrap_or(0) as f64;
         let red = as_u64(last.get("cum_redirect_bytes")).unwrap_or(0) as f64;
         let total = as_u64(last.get("cum_hit_bytes")).unwrap_or(0) as f64 + fill + red;
-        let want = if total == 0.0 {
+        let want = if exactly_zero(total) {
             0.0
         } else {
             1.0 - fill / total * costs.c_f() - red / total * costs.c_r()

@@ -7,6 +7,8 @@
 //! construction per server profile, and the policy-factory used to run the
 //! same trace through xLRU, Cafe and Psychic.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 

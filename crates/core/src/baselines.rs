@@ -82,6 +82,7 @@ impl LfuCache {
         count as f64 + t.as_millis() as f64 * RECENCY_SCALE
     }
 
+    // lint: hot
     fn remove_chunk(&mut self, id: &ChunkId) {
         self.disk.remove(id);
         self.counts.remove(id);
@@ -90,6 +91,7 @@ impl LfuCache {
 }
 
 impl CachePolicy for LfuCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let now = request.t;
         let k = self.config.chunk_size;
@@ -231,6 +233,7 @@ impl LruKCache {
         self.disk.insert(id, key);
     }
 
+    // lint: hot
     fn remove_chunk(&mut self, id: &ChunkId) {
         self.disk.remove(id);
         self.history.remove(id);
@@ -238,6 +241,7 @@ impl LruKCache {
 }
 
 impl CachePolicy for LruKCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let now = request.t;
         let k = self.config.chunk_size;
@@ -491,6 +495,7 @@ impl GdspCache {
 }
 
 impl CachePolicy for GdspCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let k = self.config.chunk_size;
         let range = request.chunk_range(k);

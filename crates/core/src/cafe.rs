@@ -215,6 +215,7 @@ impl CafeCache {
         }
     }
 
+    // lint: hot
     /// The virtual cache age at `now`: `now` minus the least popular cached
     /// chunk's virtual timestamp. Because `IAT_x(t) = t − key_x`, this is
     /// exactly the IAT of the least popular chunk (`IAT₀`).
@@ -225,6 +226,7 @@ impl CafeCache {
         }
     }
 
+    // lint: hot
     /// The look-ahead window `T` (ms) per the configured policy.
     fn window_ms(&self, now: Timestamp) -> f64 {
         match self.config.window {
@@ -233,6 +235,7 @@ impl CafeCache {
         }
     }
 
+    // lint: hot
     /// The §6 estimate for a never-seen chunk of video `v`: the largest
     /// IAT among `v`'s cached chunks, or `None` if `v` has none (or the
     /// optimisation is disabled).
@@ -255,6 +258,7 @@ impl CafeCache {
         max_iat
     }
 
+    // lint: hot
     /// Expected count of near-future requests for a chunk with
     /// inter-arrival `iat` over window `t_window`: `T / IAT_x` (Eqs. 6–7).
     fn future_requests(t_window: f64, iat: Option<f64>) -> f64 {
@@ -265,6 +269,7 @@ impl CafeCache {
         }
     }
 
+    // lint: hot
     fn remove_chunk(&mut self, id: ChunkId) {
         self.disk.remove(&id);
         if let Some(hot) = &mut self.hot {
@@ -285,6 +290,7 @@ impl CafeCache {
         }
     }
 
+    // lint: hot
     fn insert_chunk(&mut self, id: ChunkId, key: f64) {
         self.disk.insert(id, key);
         if let Some(hot) = &mut self.hot {
@@ -427,13 +433,14 @@ impl CafeCache {
     pub fn prefetch_candidates(&self, n: usize, now: Timestamp) -> Vec<(ChunkId, f64)> {
         let gamma = self.config.gamma;
         if let Some(hot) = &self.hot {
+            // Mirror entries always have a known IAT (they are inserted on
+            // the second arrival); a missing one would be a tracker bug, and
+            // skipping it degrades gracefully instead of tearing down a run.
             return hot
                 .iter_smallest_excluding(n, |_| false)
-                .map(|(id, _)| {
-                    let iat = self.iat[&id]
-                        .iat_at(now, gamma)
-                        .expect("hot mirror entries have a known IAT");
-                    (id, iat)
+                .filter_map(|(id, _)| {
+                    let iat = self.iat.get(&id)?.iat_at(now, gamma)?;
+                    Some((id, iat))
                 })
                 .collect();
         }
@@ -443,11 +450,9 @@ impl CafeCache {
             .filter(|(id, _)| !self.disk.contains(id))
             .filter_map(|(id, st)| st.iat_at(now, gamma).map(|iat| (*id, iat)))
             .collect();
-        hot.sort_unstable_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("IATs are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        // total_cmp agrees with partial_cmp on these IATs (finite, clamped
+        // to the 1 ms floor, never -0.0) and cannot panic.
+        hot.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         hot.truncate(n);
         hot
     }
@@ -486,6 +491,7 @@ impl CafeCache {
 }
 
 impl CachePolicy for CafeCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let now = request.t;
         let gamma = self.config.gamma;

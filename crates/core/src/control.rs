@@ -73,7 +73,7 @@ impl AlphaControlConfig {
 ///
 /// let base = CostModel::from_alpha(2.0).unwrap();
 /// let inner = CafeCache::new(CafeConfig::new(64, ChunkSize::DEFAULT, base));
-/// let ctl = ControlledCafeCache::new(inner, AlphaControlConfig::around(base, 10.0));
+/// let ctl = ControlledCafeCache::try_new(inner, AlphaControlConfig::around(base, 10.0)).unwrap();
 /// assert_eq!(ctl.costs().alpha(), 2.0); // reports the base model
 /// assert_eq!(ctl.current_alpha(), 2.0); // starts at base
 /// ```
@@ -92,15 +92,14 @@ impl ControlledCafeCache {
     /// Wraps `inner` with the control loop. The inner cache's configured
     /// cost model is taken as the base (reported) model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `control` fails validation.
-    pub fn new(inner: CafeCache, control: AlphaControlConfig) -> Self {
-        control
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid AlphaControlConfig: {e}"));
+    /// Returns the validation message if `control` fails
+    /// [`AlphaControlConfig::validate`].
+    pub fn try_new(inner: CafeCache, control: AlphaControlConfig) -> Result<Self, String> {
+        control.validate()?;
         let base = inner.costs();
-        ControlledCafeCache {
+        Ok(ControlledCafeCache {
             current_alpha: base.alpha(),
             inner,
             control,
@@ -108,7 +107,7 @@ impl ControlledCafeCache {
             window_traffic: TrafficCounter::default(),
             window_end: None,
             adjustments: 0,
-        }
+        })
     }
 
     /// The α currently applied by the inner cache.
@@ -133,8 +132,10 @@ impl ControlledCafeCache {
             } else {
                 self.current_alpha = (self.current_alpha / step).max(lo);
             }
-            let costs = CostModel::from_alpha(self.current_alpha)
-                .expect("band-clamped alpha is finite and positive");
+            // Band-clamped alpha stays finite and positive (validated at
+            // construction), so from_alpha cannot fail; fall back to the
+            // base model rather than carry a panic path.
+            let costs = CostModel::from_alpha(self.current_alpha).unwrap_or(self.base);
             self.inner.set_costs(costs);
             self.adjustments += 1;
         }
@@ -222,7 +223,7 @@ mod tests {
         let base = CostModel::from_alpha(2.0).expect("valid");
         let k = ChunkSize::new(100).expect("non-zero");
         let inner = CafeCache::new(CafeConfig::new(8, k, base));
-        ControlledCafeCache::new(
+        ControlledCafeCache::try_new(
             inner,
             AlphaControlConfig {
                 target_ingress_pct: target,
@@ -231,6 +232,7 @@ mod tests {
                 gain: 0.25,
             },
         )
+        .expect("valid control config")
     }
 
     #[test]
@@ -331,5 +333,24 @@ mod tests {
         let cfg = AlphaControlConfig::around(base, 12.0);
         assert_eq!(cfg.alpha_band, (1.0, 4.0));
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_instead_of_panicking() {
+        let base = CostModel::from_alpha(2.0).expect("valid");
+        let k = ChunkSize::new(100).expect("non-zero");
+        let make_inner = || CafeCache::new(CafeConfig::new(8, k, base));
+        let mut bad = AlphaControlConfig::around(base, 10.0);
+        bad.gain = 1.0;
+        let err = ControlledCafeCache::try_new(make_inner(), bad)
+            .expect_err("invalid gain must be rejected");
+        assert!(err.contains("gain"), "unexpected message: {err}");
+        let mut bad = AlphaControlConfig::around(base, 10.0);
+        bad.alpha_band = (0.0, 4.0);
+        assert!(ControlledCafeCache::try_new(make_inner(), bad).is_err());
+        assert!(
+            ControlledCafeCache::try_new(make_inner(), AlphaControlConfig::around(base, 10.0))
+                .is_ok()
+        );
     }
 }

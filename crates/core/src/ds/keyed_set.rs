@@ -31,7 +31,9 @@ impl OrdF64 {
     /// Panics on NaN input.
     pub fn new(v: f64) -> Self {
         assert!(!v.is_nan(), "OrdF64 cannot hold NaN");
-        OrdF64(v)
+        // Normalize -0.0 to +0.0 so `Ord` (total_cmp) agrees exactly with
+        // the IEEE partial order for every value this type can hold.
+        OrdF64(v + 0.0)
     }
 
     /// The wrapped value.
@@ -50,9 +52,10 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("NaN excluded at construction")
+        // NaN is excluded at construction and -0.0 normalized, so this is
+        // exactly the IEEE order partial_cmp would give — without a panic
+        // path.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -100,16 +103,19 @@ impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
         self.keys.is_empty()
     }
 
+    // lint: hot
     /// Whether `item` is present.
     pub fn contains(&self, item: &T) -> bool {
         self.keys.contains_key(item)
     }
 
+    // lint: hot
     /// The current key of `item`, if present.
     pub fn key_of(&self, item: &T) -> Option<f64> {
         self.keys.get(item).map(|k| k.get())
     }
 
+    // lint: hot
     /// Inserts `item` with `key`, replacing any previous key.
     ///
     /// # Panics
@@ -123,6 +129,7 @@ impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
         self.tree.insert((key, item));
     }
 
+    // lint: hot
     /// Removes `item`; returns its key if it was present.
     pub fn remove(&mut self, item: &T) -> Option<f64> {
         let old = self.keys.remove(item)?;
@@ -130,11 +137,13 @@ impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
         Some(old.get())
     }
 
+    // lint: hot
     /// The smallest-key (least popular) item.
     pub fn smallest(&self) -> Option<(T, f64)> {
         self.tree.first().map(|(k, t)| (*t, k.get()))
     }
 
+    // lint: hot
     /// Removes and returns the smallest-key item.
     pub fn pop_smallest(&mut self) -> Option<(T, f64)> {
         let (k, t) = *self.tree.first()?;
@@ -143,11 +152,13 @@ impl<T: Eq + Hash + Ord + Copy> KeyedSet<T> {
         Some((t, k.get()))
     }
 
+    // lint: hot
     /// The largest-key (most popular) item.
     pub fn largest(&self) -> Option<(T, f64)> {
         self.tree.last().map(|(k, t)| (*t, k.get()))
     }
 
+    // lint: hot
     /// Removes and returns the largest-key item.
     pub fn pop_largest(&mut self) -> Option<(T, f64)> {
         let (k, t) = *self.tree.last()?;
@@ -290,6 +301,20 @@ mod tests {
         s.insert(3, -5.4);
         assert_eq!(s.pop_smallest(), Some((1, -5.5)));
         assert_eq!(s.pop_smallest(), Some((3, -5.4)));
+    }
+
+    #[test]
+    fn negative_zero_normalizes_to_positive_zero() {
+        // total_cmp would order -0.0 < 0.0; construction normalizes so the
+        // two spellings are one key and the IEEE order is preserved.
+        let mut s = KeyedSet::new();
+        s.insert(1u8, -0.0);
+        let key = s.key_of(&1).expect("present");
+        assert!(key.is_sign_positive());
+        s.insert(2, 0.0);
+        assert_eq!(s.remove(&1), Some(0.0));
+        assert_eq!(s.remove(&2), Some(0.0));
+        assert!(s.is_empty());
     }
 
     #[test]

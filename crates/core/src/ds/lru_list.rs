@@ -47,7 +47,7 @@ struct Node<K> {
 /// assert_eq!(lru.len(), 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct IndexedLruList<K: Eq + Hash + Clone> {
+pub struct IndexedLruList<K: Eq + Hash + Copy> {
     nodes: Vec<Node<K>>,
     free: Vec<u32>,
     index: FastMap<K, u32>,
@@ -55,13 +55,13 @@ pub struct IndexedLruList<K: Eq + Hash + Clone> {
     tail: u32,
 }
 
-impl<K: Eq + Hash + Clone> Default for IndexedLruList<K> {
+impl<K: Eq + Hash + Copy> Default for IndexedLruList<K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Eq + Hash + Clone> IndexedLruList<K> {
+impl<K: Eq + Hash + Copy> IndexedLruList<K> {
     /// Creates an empty list.
     pub fn new() -> Self {
         IndexedLruList {
@@ -83,16 +83,19 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         self.index.is_empty()
     }
 
+    // lint: hot
     /// Last access time of `key`, if tracked.
     pub fn last_access(&self, key: &K) -> Option<Timestamp> {
         self.index.get(key).map(|&i| self.nodes[i as usize].time)
     }
 
+    // lint: hot
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         self.index.contains_key(key)
     }
 
+    // lint: hot
     /// The least recently used entry and its access time.
     pub fn oldest(&self) -> Option<(&K, Timestamp)> {
         if self.tail == NIL {
@@ -102,6 +105,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         Some((&n.key, n.time))
     }
 
+    // lint: hot
     /// The most recently used entry's access time.
     pub fn newest_time(&self) -> Option<Timestamp> {
         if self.head == NIL {
@@ -110,6 +114,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         Some(self.nodes[self.head as usize].time)
     }
 
+    // lint: hot
     /// Inserts `key` at the head with access time `t`, or moves an existing
     /// entry to the head and updates its time.
     ///
@@ -134,7 +139,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
             return;
         }
         let node = Node {
-            key: key.clone(),
+            key,
             time: t,
             prev: NIL,
             next: NIL,
@@ -154,6 +159,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         self.link_front(i);
     }
 
+    // lint: hot
     /// Removes and returns the least recently used entry.
     pub fn pop_oldest(&mut self) -> Option<(K, Timestamp)> {
         if self.tail == NIL {
@@ -163,12 +169,13 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         self.unlink(i);
         self.free.push(i);
         let n = &self.nodes[i as usize];
-        let key = n.key.clone();
+        let key = n.key;
         let time = n.time;
         self.index.remove(&key);
         Some((key, time))
     }
 
+    // lint: hot
     /// Removes an arbitrary entry; returns its access time if present.
     pub fn remove(&mut self, key: &K) -> Option<Timestamp> {
         let i = self.index.remove(key)?;
@@ -185,6 +192,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         }
     }
 
+    // lint: hot
     fn unlink(&mut self, i: u32) {
         let (prev, next) = {
             let n = &self.nodes[i as usize];
@@ -205,6 +213,7 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
         n.next = NIL;
     }
 
+    // lint: hot
     fn link_front(&mut self, i: u32) {
         self.nodes[i as usize].prev = NIL;
         self.nodes[i as usize].next = self.head;
@@ -218,12 +227,12 @@ impl<K: Eq + Hash + Clone> IndexedLruList<K> {
     }
 }
 
-struct LruIter<'a, K: Eq + Hash + Clone> {
+struct LruIter<'a, K: Eq + Hash + Copy> {
     list: &'a IndexedLruList<K>,
     cursor: u32,
 }
 
-impl<'a, K: Eq + Hash + Clone> Iterator for LruIter<'a, K> {
+impl<'a, K: Eq + Hash + Copy> Iterator for LruIter<'a, K> {
     type Item = (&'a K, Timestamp);
 
     fn next(&mut self) -> Option<Self::Item> {

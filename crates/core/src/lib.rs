@@ -37,6 +37,9 @@
 //! assert!(decision.is_serve() || decision.is_redirect());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod cafe;
 pub mod control;

@@ -51,6 +51,7 @@ impl LruCache {
         }
     }
 
+    // lint: hot
     /// Disk cache age: now minus the oldest chunk's last access.
     pub fn cache_age(&self, now: vcdn_types::Timestamp) -> vcdn_types::DurationMs {
         match self.disk.oldest() {
@@ -61,6 +62,7 @@ impl LruCache {
 }
 
 impl CachePolicy for LruCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let k = self.config.chunk_size;
         self.last_detail = DecisionDetail::age_only(self.cache_age(request.t).as_millis() as f64);

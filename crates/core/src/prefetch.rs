@@ -77,7 +77,7 @@ impl PrefetchConfig {
 /// use vcdn_types::{ChunkSize, CostModel};
 ///
 /// let inner = CafeCache::new(CafeConfig::new(64, ChunkSize::DEFAULT, CostModel::balanced()));
-/// let cache = ProactiveCafeCache::new(inner, PrefetchConfig::early_morning());
+/// let cache = ProactiveCafeCache::try_new(inner, PrefetchConfig::early_morning()).unwrap();
 /// assert_eq!(cache.prefetched_chunks(), 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -91,22 +91,21 @@ pub struct ProactiveCafeCache {
 impl ProactiveCafeCache {
     /// Wraps `inner` with proactive prefetching.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails validation.
-    pub fn new(mut inner: CafeCache, config: PrefetchConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid PrefetchConfig: {e}"));
+    /// Returns the validation message if `config` fails
+    /// [`PrefetchConfig::validate`].
+    pub fn try_new(mut inner: CafeCache, config: PrefetchConfig) -> Result<Self, String> {
+        config.validate()?;
         // Candidates are polled every tick: keep them incrementally
         // ordered instead of scan-sorting the popularity table each time.
         inner.enable_hot_tracking();
-        ProactiveCafeCache {
+        Ok(ProactiveCafeCache {
             inner,
             config,
             next_tick: None,
             prefetched: 0,
-        }
+        })
     }
 
     /// Total chunks brought in proactively so far. Experiments should
@@ -234,7 +233,7 @@ mod tests {
         // it in during off-peak.
         let costs = CostModel::from_alpha(8.0).expect("valid");
         let inner = CafeCache::new(CafeConfig::new(2, k100(), costs));
-        let mut cache = ProactiveCafeCache::new(inner, all_day());
+        let mut cache = ProactiveCafeCache::try_new(inner, all_day()).expect("valid config");
         // Warm up two videos.
         cache.handle_request(&req(0, 1));
         cache.handle_request(&req(1, 2));
@@ -355,5 +354,20 @@ mod tests {
         let mut bad = PrefetchConfig::early_morning();
         bad.tick = DurationMs::ZERO;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_instead_of_panicking() {
+        let costs = CostModel::from_alpha(2.0).expect("valid");
+        let make_inner = || CafeCache::new(CafeConfig::new(8, k100(), costs));
+        let mut bad = PrefetchConfig::early_morning();
+        bad.budget_chunks_per_tick = 0;
+        let err = ProactiveCafeCache::try_new(make_inner(), bad)
+            .expect_err("zero budget must be rejected");
+        assert!(err.contains("budget"), "unexpected message: {err}");
+        let mut bad = PrefetchConfig::early_morning();
+        bad.offpeak_end_hour = 24.5;
+        assert!(ProactiveCafeCache::try_new(make_inner(), bad).is_err());
+        assert!(ProactiveCafeCache::try_new(make_inner(), PrefetchConfig::early_morning()).is_ok());
     }
 }

@@ -140,7 +140,7 @@ impl PsychicCache {
     /// Panics if `requests` are not sorted by non-decreasing timestamp.
     pub fn new(config: PsychicConfig, requests: &[Request]) -> Self {
         assert!(
-            requests.windows(2).all(|w| w[0].t <= w[1].t),
+            requests.is_sorted_by_key(|r| r.t),
             "requests must be time-ordered"
         );
         let k = config.cache.chunk_size;
@@ -171,6 +171,7 @@ impl PsychicCache {
         }
     }
 
+    // lint: hot
     /// Psychic's cache age (ms): the average residence time of evicted
     /// chunks, or time-since-replay-start before the first eviction.
     pub fn cache_age_ms(&self, now: Timestamp) -> f64 {
@@ -184,6 +185,7 @@ impl PsychicCache {
         }
     }
 
+    // lint: hot
     /// `Σ_{t∈L_x} T/(t − now)` for one chunk (the inner sums of
     /// Eqs. 13–14), excluding occurrences belonging to the current request.
     fn future_value(&self, id: ChunkId, now: Timestamp, t_window: f64, n: usize) -> f64 {
@@ -196,6 +198,7 @@ impl PsychicCache {
             .sum()
     }
 
+    // lint: hot
     fn belady_key(&self, id: ChunkId) -> f64 {
         match self.schedules.get(&id).and_then(Schedule::next_seq) {
             Some(s) => s as f64,
@@ -203,6 +206,7 @@ impl PsychicCache {
         }
     }
 
+    // lint: hot
     fn evict_chunk(&mut self, victim: ChunkId, now: Timestamp) {
         self.disk.remove(&victim);
         if let Some(t0) = self.insert_time.remove(&victim) {
@@ -220,6 +224,7 @@ impl PsychicCache {
 }
 
 impl CachePolicy for PsychicCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let seq = self.seq;
         assert!(

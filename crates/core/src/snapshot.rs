@@ -186,19 +186,15 @@ impl XlruCache {
                 config.disk_chunks
             )));
         }
-        for w in snap.disk.windows(2) {
-            if w[0].1 > w[1].1 {
-                return Err(SnapshotError::Inconsistent(
-                    "disk entries not oldest-first".into(),
-                ));
-            }
+        if !snap.disk.is_sorted_by_key(|e| e.1) {
+            return Err(SnapshotError::Inconsistent(
+                "disk entries not oldest-first".into(),
+            ));
         }
-        for w in snap.tracker.windows(2) {
-            if w[0].1 > w[1].1 {
-                return Err(SnapshotError::Inconsistent(
-                    "tracker entries not oldest-first".into(),
-                ));
-            }
+        if !snap.tracker.is_sorted_by_key(|e| e.1) {
+            return Err(SnapshotError::Inconsistent(
+                "tracker entries not oldest-first".into(),
+            ));
         }
         Ok(XlruCache::from_parts(
             config,

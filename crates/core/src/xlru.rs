@@ -74,6 +74,7 @@ impl XlruCache {
         }
     }
 
+    // lint: hot
     /// Disk cache age at `now`: how long ago the least recently used chunk
     /// on disk was accessed (`IAT₀` in the paper's reading).
     pub fn cache_age(&self, now: Timestamp) -> DurationMs {
@@ -88,6 +89,7 @@ impl XlruCache {
         self.tracker.len()
     }
 
+    // lint: hot
     /// Eq. 5: should the request be redirected given the video's last
     /// access `prev` and the current cache age?
     fn fails_popularity_test(&self, prev: Option<Timestamp>, now: Timestamp) -> bool {
@@ -171,6 +173,7 @@ impl XlruCache {
 }
 
 impl CachePolicy for XlruCache {
+    // lint: hot
     fn handle_request(&mut self, request: &Request) -> Decision {
         let now = request.t;
         let k = self.config.chunk_size;

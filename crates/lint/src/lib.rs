@@ -1,0 +1,26 @@
+//! `vcdn-lint`: offline, workspace-aware static analysis for the vcdn
+//! workspace.
+//!
+//! The replay engine's value rests on properties `clippy` cannot express:
+//! bit-identical determinism across worker counts and hashers,
+//! allocation-free decide paths, epsilon-guarded cost math, and
+//! panic-free library code. This crate walks the workspace source with a
+//! small in-repo lexer ([`lexer`]) and enforces those invariants as five
+//! machine-checked rules ([`rules`]), each individually suppressible via
+//! the checked-in `lint.allow` file ([`allow`]) — every suppression with a
+//! reviewable justification.
+//!
+//! See `LINTS.md` at the repository root for the rule catalogue, and run
+//! `cargo run -p vcdn-lint -- --explain <rule>` for the same text offline.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use allow::{AllowEntry, AllowError, AllowList};
+pub use rules::{Finding, Rule, RULES};
+pub use workspace::{check_workspace, CheckReport};

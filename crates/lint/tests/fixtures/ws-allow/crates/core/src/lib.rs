@@ -1,0 +1,5 @@
+//! One seeded panic violation, suppressed by the fixture's lint.allow.
+
+pub fn pick_first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

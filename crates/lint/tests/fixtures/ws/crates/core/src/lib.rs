@@ -1,0 +1,27 @@
+//! Seeded violations: determinism (line 5), hot-path (line 11), panic
+//! (line 17). Golden tests assert these exact file:line:rule triples.
+
+pub fn decide_with_clock() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+// lint: hot
+pub fn hot_decide(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    out.extend_from_slice(xs);
+    out
+}
+
+pub fn pick_first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    pub fn exempt() -> u64 {
+        let v = vec![std::time::Instant::now().elapsed().as_millis() as u64];
+        *v.first().unwrap()
+    }
+}

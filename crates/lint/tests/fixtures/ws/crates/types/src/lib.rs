@@ -1,0 +1,12 @@
+//! Seeded violations: float-eq (line 5) and feature-gate (line 8, a typo
+//! of the declared `fast-hash` feature).
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+#[cfg(feature = "fast-hsah")]
+pub fn gated() {}
+
+#[cfg(feature = "fast-hash")]
+pub fn correctly_gated() {}

@@ -35,6 +35,8 @@
 //! assert!((sol.objective - (-7.0)).abs() < 1e-7); // x=1, y=3
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod problem;
 pub mod simplex;
 

@@ -24,6 +24,8 @@
 //! assert!(report.efficiency() >= -1.0 && report.efficiency() <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod diskalloc;
 pub mod fleet;
 pub mod hierarchy;

@@ -16,6 +16,7 @@
 //! use them to show *why* `α_F2R > 1` is the right setting for constrained
 //! servers.
 
+use vcdn_types::float::exactly_zero;
 use vcdn_types::TrafficCounter;
 
 use crate::replay::ReplayReport;
@@ -50,7 +51,7 @@ impl DiskIoModel {
     pub fn read_capacity_loss(&self, traffic: &TrafficCounter) -> f64 {
         let useful = traffic.hit_bytes as f64 / self.block_bytes as f64;
         let lost = self.lost_reads(traffic);
-        if useful + lost == 0.0 {
+        if exactly_zero(useful + lost) {
             0.0
         } else {
             lost / (useful + lost)

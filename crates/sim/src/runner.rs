@@ -30,7 +30,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A cell's boxed closure.
@@ -154,14 +154,20 @@ pub fn run_grid<'a, T: Send>(cells: Vec<Cell<'a, T>>, workers: usize) -> GridRun
         if i >= n {
             break;
         }
-        let job = jobs[i]
+        // Poisoning cannot corrupt a job/slot Option, so recover the guard;
+        // the atomic index hands each job to exactly one worker, making an
+        // already-taken job unreachable — skip instead of panicking.
+        let Some(job) = jobs[i]
             .lock()
-            .expect("job mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
-            .expect("job claimed twice");
+        else {
+            continue;
+        };
         let cell_start = Instant::now();
         let value = job();
-        *slots[i].lock().expect("slot mutex poisoned") = Some((value, cell_start.elapsed()));
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+            Some((value, cell_start.elapsed()));
     };
 
     if workers == 1 {
@@ -170,22 +176,26 @@ pub fn run_grid<'a, T: Send>(cells: Vec<Cell<'a, T>>, workers: usize) -> GridRun
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || work(w))).collect();
             for h in handles {
-                h.join().expect("grid worker panicked");
+                // Re-raise a cell's panic with its original payload (the
+                // documented propagation contract) instead of a new expect.
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
             }
         });
     }
 
-    let results = labels
+    let results: Vec<CellResult<T>> = labels
         .into_iter()
         .zip(slots)
-        .map(|(label, slot)| {
-            let (value, wall) = slot
-                .into_inner()
-                .expect("slot mutex poisoned")
-                .expect("cell never ran");
-            CellResult { label, value, wall }
+        .filter_map(|(label, slot)| {
+            let (value, wall) = slot.into_inner().unwrap_or_else(PoisonError::into_inner)?;
+            Some(CellResult { label, value, wall })
         })
         .collect();
+    // Every index is claimed exactly once and worker panics have already
+    // propagated, so every slot is filled; this is a contract check.
+    assert_eq!(results.len(), n, "every grid cell must produce a result");
 
     GridRun {
         results,

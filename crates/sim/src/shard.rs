@@ -18,6 +18,7 @@ use std::sync::Arc;
 use vcdn_core::CachePolicy;
 use vcdn_obs::{MetricsSink, PolicyObs};
 use vcdn_trace::Trace;
+use vcdn_types::float::exactly_zero;
 use vcdn_types::{ChunkId, Decision, TrafficCounter, VideoId};
 
 /// Maps video IDs to one of `servers` co-located caches through a
@@ -117,7 +118,7 @@ impl ColocatedReport {
             .collect();
         let max = loads.iter().copied().max().unwrap_or(0) as f64;
         let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
-        if mean == 0.0 {
+        if exactly_zero(mean) {
             1.0
         } else {
             max / mean

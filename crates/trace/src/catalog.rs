@@ -8,6 +8,7 @@
 //! the borderline files that caches admit/evict "usually have very few
 //! accesses in their lifetime" (§3), and request profiles are transient.
 
+use vcdn_types::float::exactly_zero;
 use vcdn_types::{DurationMs, Timestamp, VideoId};
 
 use crate::{
@@ -177,7 +178,7 @@ impl Catalog {
         if v.birth > t {
             return 0.0;
         }
-        if self.config.decay_beta == 0.0 {
+        if exactly_zero(self.config.decay_beta) {
             return v.weight;
         }
         let age = v.age_at(t).as_millis() as f64;

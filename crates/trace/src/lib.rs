@@ -32,6 +32,8 @@
 //! assert!(s.unique_videos > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod binfmt;
 pub mod catalog;
 pub mod dist;

@@ -52,6 +52,7 @@ pub struct FxHasher {
 
 impl FxHasher {
     #[inline]
+    // lint: hot
     fn mix(&mut self, word: u64) {
         self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
     }
@@ -59,6 +60,7 @@ impl FxHasher {
 
 impl Hasher for FxHasher {
     #[inline]
+    // lint: hot
     fn finish(&self) -> u64 {
         // Fold the high bits down: in a multiply-mix, bit `i` of the
         // product depends only on input bits `0..=i`, so the low bits are
@@ -70,6 +72,7 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    // lint: hot
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
@@ -85,26 +88,31 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    // lint: hot
     fn write_u8(&mut self, i: u8) {
         self.mix(i as u64);
     }
 
     #[inline]
+    // lint: hot
     fn write_u16(&mut self, i: u16) {
         self.mix(i as u64);
     }
 
     #[inline]
+    // lint: hot
     fn write_u32(&mut self, i: u32) {
         self.mix(i as u64);
     }
 
     #[inline]
+    // lint: hot
     fn write_u64(&mut self, i: u64) {
         self.mix(i);
     }
 
     #[inline]
+    // lint: hot
     fn write_u128(&mut self, i: u128) {
         self.mix(i as u64);
         self.mix((i >> 64) as u64);
@@ -129,8 +137,12 @@ pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
 #[cfg(not(feature = "std-hash"))]
 pub type FastSet<T> = HashSet<T, FxBuildHasher>;
 
+/// `HashMap` on the std `RandomState` hasher (the `std-hash`
+/// cross-hasher determinism check; default builds use [`FxBuildHasher`]).
 #[cfg(feature = "std-hash")]
 pub type FastMap<K, V> = HashMap<K, V>;
+/// `HashSet` on the std `RandomState` hasher (the `std-hash`
+/// cross-hasher determinism check; default builds use [`FxBuildHasher`]).
 #[cfg(feature = "std-hash")]
 pub type FastSet<T> = HashSet<T>;
 

@@ -26,9 +26,13 @@
 //! assert!((cost.c_r() - 2.0 / 3.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod decision;
 pub mod fasthash;
+pub mod float;
 pub mod ids;
 pub mod json;
 pub mod metrics;
@@ -39,6 +43,7 @@ pub mod time;
 pub use cost::{CostError, CostModel};
 pub use decision::{Decision, ServeOutcome};
 pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use float::{approx_eq, exactly_eq, exactly_zero, COST_EPS};
 pub use ids::{ChunkId, VideoId};
 pub use metrics::TrafficCounter;
 pub use range::{ByteRange, ChunkRange, ChunkSize, RangeError};

@@ -38,6 +38,8 @@
 //! println!("efficiency = {:.3}", report.overall.efficiency(costs));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use vcdn_core as cache;
 pub use vcdn_lp as lp;
 pub use vcdn_sim as sim;

@@ -22,7 +22,7 @@ fn control_loop_steers_ingress_between_extremes() {
     let replayer = Replayer::new(ReplayConfig::new(K, base));
     let run = |target: f64| -> (f64, f64) {
         let inner = CafeCache::new(CafeConfig::new(256, K, base));
-        let mut ctl = ControlledCafeCache::new(
+        let mut ctl = ControlledCafeCache::try_new(
             inner,
             AlphaControlConfig {
                 target_ingress_pct: target,
@@ -30,7 +30,8 @@ fn control_loop_steers_ingress_between_extremes() {
                 window: DurationMs::from_hours(1),
                 gain: 0.25,
             },
-        );
+        )
+        .expect("valid control config");
         let r = replayer.replay(&t, &mut ctl);
         (r.ingress_pct(), ctl.current_alpha())
     };
@@ -54,7 +55,7 @@ fn controlled_cache_matches_fixed_cache_when_band_is_degenerate() {
     let mut fixed = CafeCache::new(CafeConfig::new(128, K, base));
     let r_fixed = replayer.replay(&t, &mut fixed);
     let inner = CafeCache::new(CafeConfig::new(128, K, base));
-    let mut ctl = ControlledCafeCache::new(
+    let mut ctl = ControlledCafeCache::try_new(
         inner,
         AlphaControlConfig {
             target_ingress_pct: 5.0,
@@ -62,7 +63,8 @@ fn controlled_cache_matches_fixed_cache_when_band_is_degenerate() {
             window: DurationMs::from_hours(1),
             gain: 0.25,
         },
-    );
+    )
+    .expect("valid control config");
     let r_ctl = replayer.replay(&t, &mut ctl);
     assert_eq!(r_fixed.overall, r_ctl.overall);
 }
@@ -79,7 +81,7 @@ fn prefetcher_only_acts_off_peak() {
         ..PrefetchConfig::early_morning()
     };
     let inner = CafeCache::new(CafeConfig::new(128, K, costs));
-    let mut idle = ProactiveCafeCache::new(inner, never);
+    let mut idle = ProactiveCafeCache::try_new(inner, never).expect("valid config");
     let r_idle = replayer.replay(&t, &mut idle);
     assert_eq!(idle.prefetched_chunks(), 0);
     // A plain cache must behave identically.
@@ -99,7 +101,7 @@ fn prefetcher_brings_in_chunks_when_always_on() {
         tick: DurationMs::from_secs(600),
     };
     let inner = CafeCache::new(CafeConfig::new(128, K, costs));
-    let mut pro = ProactiveCafeCache::new(inner, all_day);
+    let mut pro = ProactiveCafeCache::try_new(inner, all_day).expect("valid config");
     let replayer = Replayer::new(ReplayConfig::new(K, costs));
     let _ = replayer.replay(&t, &mut pro);
     assert!(
