@@ -1,0 +1,217 @@
+//! Golden-baseline checking shared by the tracked-perf binaries.
+//!
+//! `perf_baseline` (PR 2) and `contention` (PR 6) both write a JSON
+//! document mixing *deterministic* replay metrics (byte counters,
+//! efficiencies — identical on every machine) with *timing* fields
+//! (req/s, wall times — different on every machine). Their `--check`
+//! flag re-verifies the deterministic fields against a previously
+//! written document; this module is that comparison, factored out so
+//! both binaries — and any future tracked bench — diff goldens the same
+//! way.
+//!
+//! The document shape is one top-level object with scalar run
+//! parameters plus a `"policies"` array of per-policy rows. The
+//! comparison covers every field present on *either* side (so a golden
+//! field the run no longer emits, or a new field absent from the
+//! golden, also shows up), excluding the caller's timing-field list at
+//! both levels.
+
+use vcdn_types::json::Json;
+
+/// Appends unified-diff lines for one field: `- path = want` for the
+/// pinned value, `+ path = got` for the measured one. A field present on
+/// only one side yields only that side's line.
+fn diff_field(path: &str, got: Option<&Json>, want: Option<&Json>, out: &mut Vec<String>) {
+    if got == want {
+        return;
+    }
+    if let Some(w) = want {
+        out.push(format!("- {path} = {w}"));
+    }
+    if let Some(g) = got {
+        out.push(format!("+ {path} = {g}"));
+    }
+}
+
+/// The keys of an object pair, in want-order followed by got-only keys,
+/// with `skip` keys removed.
+fn merged_keys<'a>(got: Option<&'a Json>, want: Option<&'a Json>, skip: &[&str]) -> Vec<&'a str> {
+    let keys_of = |j: Option<&'a Json>| match j {
+        Some(Json::Obj(fields)) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => Vec::new(),
+    };
+    let mut keys: Vec<&str> = keys_of(want);
+    for k in keys_of(got) {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    keys.retain(|k| !skip.contains(k));
+    keys
+}
+
+/// Compares every deterministic field of `got` against `want`, ignoring
+/// the machine-dependent `timing` fields (at the top level and inside
+/// each policy row). Returns a unified field-by-field diff (`-` = pinned
+/// golden, `+` = this run), empty on a clean match.
+pub fn check_against(got: &Json, want: &Json, timing: &[&str]) -> Vec<String> {
+    let mut diff = Vec::new();
+    let mut top_skip: Vec<&str> = vec!["policies"];
+    top_skip.extend_from_slice(timing);
+    for key in merged_keys(Some(got), Some(want), &top_skip) {
+        diff_field(key, got.get(key), want.get(key), &mut diff);
+    }
+    let rows = |j: &Json| -> Vec<Json> {
+        match j.get("policies") {
+            Some(Json::Arr(a)) => a.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let (g_rows, w_rows) = (rows(got), rows(want));
+    if g_rows.len() != w_rows.len() {
+        diff.push(format!("- policies: {} rows", w_rows.len()));
+        diff.push(format!("+ policies: {} rows", g_rows.len()));
+    }
+    for i in 0..g_rows.len().max(w_rows.len()) {
+        let (g, w) = (g_rows.get(i), w_rows.get(i));
+        let name = g
+            .or(w)
+            .and_then(|r| r.get("policy"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        for key in merged_keys(g, w, timing) {
+            diff_field(
+                &format!("{name}.{key}"),
+                g.and_then(|r| r.get(key)),
+                w.and_then(|r| r.get(key)),
+                &mut diff,
+            );
+        }
+    }
+    diff
+}
+
+/// The `--check` flow both binaries share: parse the golden at
+/// `golden_path`, diff `json` against it with [`check_against`], print
+/// the unified diff on stderr and panic on any mismatch. `tag` prefixes
+/// the log lines (`[perf_baseline]`, `[contention]`).
+pub fn enforce_golden(tag: &str, json: &Json, golden_path: &str, timing: &[&str]) {
+    let want_text = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("cannot read golden {golden_path}: {e}"));
+    let want = vcdn_types::json::parse(&want_text)
+        .unwrap_or_else(|e| panic!("cannot parse golden {golden_path}: {e}"));
+    let diff = check_against(json, &want, timing);
+    if !diff.is_empty() {
+        eprintln!("[{tag}] MISMATCH — unified diff of deterministic fields:");
+        eprintln!("--- {golden_path} (pinned)");
+        eprintln!("+++ this run");
+        for line in &diff {
+            eprintln!("{line}");
+        }
+        panic!(
+            "deterministic metrics diverge from pinned goldens in {golden_path} ({} diff lines)",
+            diff.len()
+        );
+    }
+    eprintln!("[{tag}] metrics match pinned goldens in {golden_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMING: [&str; 2] = ["requests_per_sec", "replay_wall_ms"];
+
+    fn golden() -> Json {
+        vcdn_types::json::parse(
+            r#"{"bench":"perf_baseline","seed":1,"scale":0.0625,"days":30,"alpha":2.0,
+                "requests":100,"policies":[
+                {"policy":"lru","requests_per_sec":5.0,"steady_hit_bytes":10},
+                {"policy":"cafe","requests_per_sec":9.0,"steady_hit_bytes":20}]}"#,
+        )
+        .expect("valid golden")
+    }
+
+    #[test]
+    fn identical_documents_diff_empty() {
+        assert!(check_against(&golden(), &golden(), &TIMING).is_empty());
+    }
+
+    #[test]
+    fn timing_fields_are_ignored() {
+        let text = golden().to_string().replace("5.0", "123.0");
+        let got = vcdn_types::json::parse(&text).expect("valid");
+        assert!(check_against(&got, &golden(), &TIMING).is_empty());
+    }
+
+    #[test]
+    fn top_level_timing_fields_are_ignored_too() {
+        let text = golden()
+            .to_string()
+            .replace("\"requests\":100", "\"requests\":100,\"threads\":[1,4]");
+        let got = vcdn_types::json::parse(&text).expect("valid");
+        assert!(!check_against(&got, &golden(), &TIMING).is_empty());
+        assert!(check_against(&got, &golden(), &["threads"]).is_empty());
+    }
+
+    #[test]
+    fn changed_field_yields_minus_plus_pair() {
+        let text = golden()
+            .to_string()
+            .replace("\"steady_hit_bytes\":20", "\"steady_hit_bytes\":21");
+        let got = vcdn_types::json::parse(&text).expect("valid");
+        let diff = check_against(&got, &golden(), &TIMING);
+        assert_eq!(
+            diff,
+            vec![
+                "- cafe.steady_hit_bytes = 20".to_string(),
+                "+ cafe.steady_hit_bytes = 21".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn got_only_field_shows_as_plus_line() {
+        let text = golden().to_string().replace(
+            "\"steady_hit_bytes\":20",
+            "\"steady_hit_bytes\":20,\"new_metric\":7",
+        );
+        let got = vcdn_types::json::parse(&text).expect("valid");
+        let diff = check_against(&got, &golden(), &TIMING);
+        assert_eq!(diff, vec!["+ cafe.new_metric = 7".to_string()]);
+    }
+
+    #[test]
+    fn missing_row_is_reported_with_row_counts() {
+        let want = golden();
+        let got_text = want.to_string().replace(
+            r#",{"policy":"cafe","requests_per_sec":9.0,"steady_hit_bytes":20}"#,
+            "",
+        );
+        let got = vcdn_types::json::parse(&got_text).expect("valid");
+        let diff = check_against(&got, &want, &TIMING);
+        assert!(diff.contains(&"- policies: 2 rows".to_string()), "{diff:?}");
+        assert!(diff.contains(&"+ policies: 1 rows".to_string()), "{diff:?}");
+        // The vanished row's pinned fields appear as `-` lines.
+        assert!(diff.iter().any(|l| l.starts_with("- cafe.")), "{diff:?}");
+    }
+
+    #[test]
+    fn per_shard_arrays_compare_elementwise_as_values() {
+        let a = vcdn_types::json::parse(
+            r#"{"bench":"contention","policies":[{"policy":"cafe","shard_hit_bytes":[1,2,3]}]}"#,
+        )
+        .expect("valid");
+        let b_text = a.to_string().replace("[1,2,3]", "[1,2,4]");
+        let b = vcdn_types::json::parse(&b_text).expect("valid");
+        assert!(check_against(&a, &a, &[]).is_empty());
+        let diff = check_against(&b, &a, &[]);
+        assert_eq!(
+            diff,
+            vec![
+                "- cafe.shard_hit_bytes = [1,2,3]".to_string(),
+                "+ cafe.shard_hit_bytes = [1,2,4]".to_string(),
+            ]
+        );
+    }
+}

@@ -77,80 +77,9 @@ fn json_of(scale: f64, days: u64, requests: u64, rows: &[PolicyPerf]) -> Json {
     ])
 }
 
-/// Machine-dependent timing fields, excluded from golden comparison.
+/// Machine-dependent timing fields, excluded from golden comparison
+/// (see `vcdn_bench::baseline` for the shared diff machinery).
 const TIMING: [&str; 2] = ["requests_per_sec", "replay_wall_ms"];
-
-/// Appends unified-diff lines for one field: `- path = want` for the
-/// pinned value, `+ path = got` for the measured one. A field present on
-/// only one side yields only that side's line.
-fn diff_field(path: &str, got: Option<&Json>, want: Option<&Json>, out: &mut Vec<String>) {
-    if got == want {
-        return;
-    }
-    if let Some(w) = want {
-        out.push(format!("- {path} = {w}"));
-    }
-    if let Some(g) = got {
-        out.push(format!("+ {path} = {g}"));
-    }
-}
-
-/// The fields of a policy row, in want-order followed by got-only keys,
-/// timing fields excluded.
-fn row_keys<'a>(got: Option<&'a Json>, want: Option<&'a Json>) -> Vec<&'a str> {
-    let keys_of = |j: Option<&'a Json>| match j {
-        Some(Json::Obj(fields)) => fields.iter().map(|(k, _)| k.as_str()).collect(),
-        _ => Vec::new(),
-    };
-    let mut keys: Vec<&str> = keys_of(want);
-    for k in keys_of(got) {
-        if !keys.contains(&k) {
-            keys.push(k);
-        }
-    }
-    keys.retain(|k| !TIMING.contains(k));
-    keys
-}
-
-/// Compares every deterministic field of `got` against `want`, ignoring
-/// the machine-dependent timing fields. Returns a unified field-by-field
-/// diff (`-` = pinned golden, `+` = this run), empty on a clean match.
-/// Covers fields present on either side, so a golden field the run no
-/// longer emits — or a new field absent from the golden — also shows up.
-fn check_against(got: &Json, want: &Json) -> Vec<String> {
-    let mut diff = Vec::new();
-    for key in ["bench", "seed", "scale", "days", "alpha", "requests"] {
-        diff_field(key, got.get(key), want.get(key), &mut diff);
-    }
-    let rows = |j: &Json| -> Vec<Json> {
-        match j.get("policies") {
-            Some(Json::Arr(a)) => a.clone(),
-            _ => Vec::new(),
-        }
-    };
-    let (g_rows, w_rows) = (rows(got), rows(want));
-    if g_rows.len() != w_rows.len() {
-        diff.push(format!("- policies: {} rows", w_rows.len()));
-        diff.push(format!("+ policies: {} rows", g_rows.len()));
-    }
-    for i in 0..g_rows.len().max(w_rows.len()) {
-        let (g, w) = (g_rows.get(i), w_rows.get(i));
-        let name = g
-            .or(w)
-            .and_then(|r| r.get("policy"))
-            .and_then(Json::as_str)
-            .unwrap_or("?");
-        for key in row_keys(g, w) {
-            diff_field(
-                &format!("{name}.{key}"),
-                g.and_then(|r| r.get(key)),
-                w.and_then(|r| r.get(key)),
-                &mut diff,
-            );
-        }
-    }
-    diff
-}
 
 fn main() {
     let scale = Scale::from_args();
@@ -216,95 +145,8 @@ fn main() {
 
     let json = json_of(scale.0, days, requests, &rows);
     if let Some(golden_path) = check {
-        let want_text = std::fs::read_to_string(&golden_path)
-            .unwrap_or_else(|e| panic!("cannot read golden {golden_path}: {e}"));
-        let want = vcdn_types::json::parse(&want_text)
-            .unwrap_or_else(|e| panic!("cannot parse golden {golden_path}: {e}"));
-        let diff = check_against(&json, &want);
-        if !diff.is_empty() {
-            eprintln!("[perf_baseline] MISMATCH — unified diff of deterministic fields:");
-            eprintln!("--- {golden_path} (pinned)");
-            eprintln!("+++ this run");
-            for line in &diff {
-                eprintln!("{line}");
-            }
-            panic!(
-                "replay metrics diverge from pinned goldens in {golden_path} ({} diff lines)",
-                diff.len()
-            );
-        }
-        eprintln!("[perf_baseline] metrics match pinned goldens in {golden_path}");
+        vcdn_bench::baseline::enforce_golden("perf_baseline", &json, &golden_path, &TIMING);
     }
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
     eprintln!("[perf_baseline] wrote {out}");
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn golden() -> Json {
-        vcdn_types::json::parse(
-            r#"{"bench":"perf_baseline","seed":1,"scale":0.0625,"days":30,"alpha":2.0,
-                "requests":100,"policies":[
-                {"policy":"lru","requests_per_sec":5.0,"steady_hit_bytes":10},
-                {"policy":"cafe","requests_per_sec":9.0,"steady_hit_bytes":20}]}"#,
-        )
-        .expect("valid golden")
-    }
-
-    #[test]
-    fn identical_documents_diff_empty() {
-        assert!(check_against(&golden(), &golden()).is_empty());
-    }
-
-    #[test]
-    fn timing_fields_are_ignored() {
-        let text = golden().to_string().replace("5.0", "123.0");
-        let got = vcdn_types::json::parse(&text).expect("valid");
-        assert!(check_against(&got, &golden()).is_empty());
-    }
-
-    #[test]
-    fn changed_field_yields_minus_plus_pair() {
-        let text = golden()
-            .to_string()
-            .replace("\"steady_hit_bytes\":20", "\"steady_hit_bytes\":21");
-        let got = vcdn_types::json::parse(&text).expect("valid");
-        let diff = check_against(&got, &golden());
-        assert_eq!(
-            diff,
-            vec![
-                "- cafe.steady_hit_bytes = 20".to_string(),
-                "+ cafe.steady_hit_bytes = 21".to_string(),
-            ]
-        );
-    }
-
-    #[test]
-    fn got_only_field_shows_as_plus_line() {
-        let text = golden().to_string().replace(
-            "\"steady_hit_bytes\":20",
-            "\"steady_hit_bytes\":20,\"new_metric\":7",
-        );
-        let got = vcdn_types::json::parse(&text).expect("valid");
-        let diff = check_against(&got, &golden());
-        assert_eq!(diff, vec!["+ cafe.new_metric = 7".to_string()]);
-    }
-
-    #[test]
-    fn missing_row_is_reported_with_row_counts() {
-        let mut want = golden();
-        let got_text = want.to_string().replace(
-            r#",{"policy":"cafe","requests_per_sec":9.0,"steady_hit_bytes":20}"#,
-            "",
-        );
-        let got = vcdn_types::json::parse(&got_text).expect("valid");
-        let diff = check_against(&got, &want);
-        assert!(diff.contains(&"- policies: 2 rows".to_string()), "{diff:?}");
-        assert!(diff.contains(&"+ policies: 1 rows".to_string()), "{diff:?}");
-        // The vanished row's pinned fields appear as `-` lines.
-        assert!(diff.iter().any(|l| l.starts_with("- cafe.")), "{diff:?}");
-        let _ = &mut want;
-    }
 }

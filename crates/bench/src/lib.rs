@@ -9,6 +9,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,1113 @@
+//! The concurrent sharded serving engine: one process, many policy shards,
+//! millions of requests per second.
+//!
+//! The paper's defense lines assume each cache server absorbs heavy
+//! independent traffic, but [`crate::replay::Replayer`] is single-threaded:
+//! parallelism so far has been *across* grid cells, never within one
+//! server's request stream. This module adds the within-box layer:
+//!
+//! * **Shard ownership.** The engine owns `N` independent
+//!   [`CachePolicy`] instances ("shards"), each with a slice of the total
+//!   disk capacity ([`EngineConfig::shard_capacities`]; slices always sum
+//!   to the configured total). Every video — and therefore every packed
+//!   [`ChunkId`] — maps to exactly one shard via
+//!   [`vcdn_types::fasthash::shard_for`] ([`shard_of_video`],
+//!   [`shard_of_chunk`]), so no chunk is ever cached twice and no policy
+//!   state is ever shared.
+//! * **Request feed.** [`ShardedEngine::run`] dispatches the trace in
+//!   order through per-worker [`BatchQueue`]s (bounded, `Mutex` +
+//!   `Condvar`, batch-granular to amortise lock traffic; buffers are
+//!   recycled so the steady state allocates nothing). Shard `s` is
+//!   statically owned by worker `s % workers`, so each shard's requests
+//!   are consumed by exactly one thread, in dispatch order.
+//! * **Determinism by construction.** Because shards are independent and
+//!   each shard's request sub-stream is processed in trace order by a
+//!   single owner, per-shard byte counters are bit-identical for *any*
+//!   worker count — the invariant `runner_determinism.rs` and
+//!   `prop_engine.rs` pin. Timing is the only thing workers change.
+//! * **Lock discipline.** The only locks in the engine are the per-worker
+//!   queue mutexes; they guard index batches, never policy state. A shard
+//!   is touched by exactly one thread per run, and the dispatcher never
+//!   touches shards at all. Metrics aggregate through `vcdn-obs` atomic
+//!   sinks ([`ShardedEngine::attach_obs`]): per-shard scoped counters plus
+//!   engine-level totals, each update a single atomic RMW, so a snapshot
+//!   taken at quiescence is consistent with the per-shard reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use vcdn_core::XlruCache;
+//! use vcdn_sim::engine::{EngineConfig, ShardedEngine};
+//! use vcdn_trace::{ServerProfile, TraceGenerator};
+//! use vcdn_types::{ChunkSize, CostModel, DurationMs};
+//!
+//! let trace = TraceGenerator::new(ServerProfile::tiny_test(), 7)
+//!     .generate(DurationMs::from_hours(6));
+//! let costs = CostModel::from_alpha(2.0).unwrap();
+//! let cfg = EngineConfig::new(4, 128, ChunkSize::DEFAULT, costs).unwrap();
+//! let mut engine =
+//!     ShardedEngine::try_new(cfg, |_, cache| Box::new(XlruCache::new(cache))).unwrap();
+//! let report = engine.run(&trace, 4);
+//! assert_eq!(report.total_requests() as usize, trace.len());
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use vcdn_core::{CacheConfig, CachePolicy};
+use vcdn_obs::{MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs, TelemetryBundle};
+use vcdn_trace::Trace;
+use vcdn_types::json::Json;
+use vcdn_types::{
+    fasthash, ChunkId, ChunkSize, CostModel, Decision, DurationMs, Request, Timestamp,
+    TrafficCounter, VideoId,
+};
+
+/// The shard that owns every chunk of `video`: fasthash over the packed
+/// [`ChunkId`] of the video's first chunk, mod the shard count. Keying on
+/// the video (rather than the individual chunk index) keeps a whole
+/// request on one shard, so a policy sees the same request stream it would
+/// see as a stand-alone cache for its partition.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[inline]
+// lint: hot
+pub fn shard_of_video(video: VideoId, shards: usize) -> usize {
+    fasthash::shard_for(ChunkId::new(video, 0).packed(), shards)
+}
+
+/// The shard that owns `chunk`: its video's shard, so every chunk of a
+/// video lives in exactly one partition.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[inline]
+// lint: hot
+pub fn shard_of_chunk(chunk: ChunkId, shards: usize) -> usize {
+    shard_of_video(chunk.video, shards)
+}
+
+/// Splits `trace` into per-shard request streams under the engine's
+/// partition, preserving trace order within each shard. Used to build
+/// policies that need their shard's future (Psychic) and by tests as the
+/// per-shard oracle.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_requests(trace: &Trace, shards: usize) -> Vec<Vec<Request>> {
+    let mut per: Vec<Vec<Request>> = (0..shards).map(|_| Vec::new()).collect();
+    for request in &trace.requests {
+        per[shard_of_video(request.video, shards)].push(*request);
+    }
+    per
+}
+
+/// Why an engine could not be configured or constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// `shards == 0`.
+    NoShards,
+    /// Fewer disk chunks than shards — a shard would get zero capacity.
+    DiskTooSmall {
+        /// Requested shard count.
+        shards: usize,
+        /// Requested total capacity in chunks.
+        disk_chunks: u64,
+    },
+    /// A factory-built policy disagrees with the engine configuration.
+    PolicyMismatch {
+        /// The shard whose policy was rejected.
+        shard: usize,
+        /// What disagreed (chunk size, cost model or capacity).
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoShards => write!(f, "engine needs at least one shard"),
+            EngineError::DiskTooSmall {
+                shards,
+                disk_chunks,
+            } => write!(
+                f,
+                "{disk_chunks} disk chunks cannot give each of {shards} shards a chunk"
+            ),
+            EngineError::PolicyMismatch { shard, what } => {
+                write!(f, "shard {shard}: policy {what} mismatches engine config")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Sharded engine options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of policy shards (fixed per engine; workers vary per run).
+    pub shards: usize,
+    /// Total disk capacity in chunks, split across shards.
+    pub disk_chunks: u64,
+    /// Chunk size used for byte accounting (must match the policies').
+    pub chunk_size: ChunkSize,
+    /// Cost model used for efficiency reporting (must match the policies').
+    pub costs: CostModel,
+    /// Fraction of the trace horizon after which steady-state accounting
+    /// begins (paper: 0.5 — the second half).
+    pub steady_after: f64,
+    /// Requests per dispatch batch: the feed hands indices to workers in
+    /// batches of this size to amortise queue locking.
+    pub batch: usize,
+    /// Batches a worker's queue holds before the feed blocks
+    /// (backpressure bound).
+    pub queue_depth: usize,
+    /// Verify policy invariants (capacity, serve completeness) after
+    /// every request; cheap, on by default.
+    pub check_invariants: bool,
+}
+
+impl EngineConfig {
+    /// Creates a configuration: `shards` policy shards sharing
+    /// `disk_chunks` of capacity, with the paper's measurement defaults
+    /// (steady state over the second half, invariant checks on).
+    pub fn new(
+        shards: usize,
+        disk_chunks: u64,
+        chunk_size: ChunkSize,
+        costs: CostModel,
+    ) -> Result<EngineConfig, EngineError> {
+        if shards == 0 {
+            return Err(EngineError::NoShards);
+        }
+        if disk_chunks < shards as u64 {
+            return Err(EngineError::DiskTooSmall {
+                shards,
+                disk_chunks,
+            });
+        }
+        Ok(EngineConfig {
+            shards,
+            disk_chunks,
+            chunk_size,
+            costs,
+            steady_after: 0.5,
+            batch: 256,
+            queue_depth: 8,
+            check_invariants: true,
+        })
+    }
+
+    /// The measurement configuration for benches: identical to
+    /// [`EngineConfig::new`] but with per-request invariant checks off
+    /// (the test suite keeps them on).
+    pub fn bench(
+        shards: usize,
+        disk_chunks: u64,
+        chunk_size: ChunkSize,
+        costs: CostModel,
+    ) -> Result<EngineConfig, EngineError> {
+        Ok(EngineConfig {
+            check_invariants: false,
+            ..EngineConfig::new(shards, disk_chunks, chunk_size, costs)?
+        })
+    }
+
+    /// Overrides the steady-state start fraction.
+    pub fn with_steady_after(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "steady_after must be in [0, 1)"
+        );
+        self.steady_after = fraction;
+        self
+    }
+
+    /// Overrides the dispatch batch size (clamped to at least 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Overrides the per-worker queue depth (clamped to at least 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Toggles the per-request invariant walk.
+    pub fn with_check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// Per-shard disk capacities: `disk_chunks / shards` each, with the
+    /// remainder spread one chunk at a time over the first shards. Always
+    /// sums to exactly [`EngineConfig::disk_chunks`], and every shard gets
+    /// at least one chunk (enforced by [`EngineConfig::new`]).
+    pub fn shard_capacities(&self) -> Vec<u64> {
+        let n = self.shards as u64;
+        let base = self.disk_chunks / n;
+        let extra = self.disk_chunks % n;
+        (0..n).map(|s| base + u64::from(s < extra)).collect()
+    }
+}
+
+/// A bounded multi-producer queue of request-index batches.
+///
+/// Producers block while the queue holds `depth` batches (backpressure);
+/// the consumer blocks while it is empty and open. Batch buffers are
+/// recycled through a free list so a steady-state run allocates nothing
+/// per batch. Closing wakes the consumer to drain and exit.
+struct BatchQueue {
+    state: Mutex<QueueState>,
+    can_push: Condvar,
+    can_pop: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    batches: VecDeque<Vec<u32>>,
+    free: Vec<Vec<u32>>,
+    closed: bool,
+}
+
+impl BatchQueue {
+    fn new(depth: usize) -> BatchQueue {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                batches: VecDeque::with_capacity(depth),
+                free: Vec::with_capacity(depth),
+                closed: false,
+            }),
+            can_push: Condvar::new(),
+            can_pop: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueues the contents of `buf`, swapping it for an empty (possibly
+    /// recycled) buffer. Blocks while the queue is full.
+    fn push(&self, buf: &mut Vec<u32>) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.batches.len() >= self.depth {
+            st = self
+                .can_push
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let replacement = st.free.pop().unwrap_or_default();
+        let full = std::mem::replace(buf, replacement);
+        st.batches.push_back(full);
+        drop(st);
+        self.can_pop.notify_one();
+    }
+
+    /// Marks the queue closed; the consumer drains what remains and then
+    /// sees `None`.
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.closed = true;
+        drop(st);
+        self.can_pop.notify_one();
+    }
+
+    /// Dequeues the oldest batch, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Vec<u32>> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(batch) = st.batches.pop_front() {
+                drop(st);
+                self.can_push.notify_one();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .can_pop
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Returns an emptied batch buffer to the free list for reuse.
+    fn recycle(&self, mut buf: Vec<u32>) {
+        buf.clear();
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.free.len() < self.depth {
+            st.free.push(buf);
+        }
+    }
+}
+
+/// Engine-level aggregate metric handles: one atomic counter per traffic
+/// bucket, updated by whichever worker handled the request. Totals equal
+/// the sum of per-shard counters in any quiescent snapshot.
+struct EngineObs {
+    sink: Arc<dyn MetricsSink>,
+    served: MetricId,
+    redirected: MetricId,
+    hit_chunks: MetricId,
+    fill_chunks: MetricId,
+    redirect_chunks: MetricId,
+    evicted_chunks: MetricId,
+}
+
+impl EngineObs {
+    fn attach(sink: &Arc<dyn MetricsSink>, scope: &str) -> EngineObs {
+        let name = |metric: &str| format!("{scope}.engine.{metric}");
+        EngineObs {
+            served: sink.register(&name("serve_requests_total"), MetricKind::Counter),
+            redirected: sink.register(&name("redirect_requests_total"), MetricKind::Counter),
+            hit_chunks: sink.register(&name("hit_chunks_total"), MetricKind::Counter),
+            fill_chunks: sink.register(&name("fill_chunks_total"), MetricKind::Counter),
+            redirect_chunks: sink.register(&name("redirect_chunks_total"), MetricKind::Counter),
+            evicted_chunks: sink.register(&name("evicted_chunks_total"), MetricKind::Counter),
+            sink: Arc::clone(sink),
+        }
+    }
+}
+
+/// One policy shard plus its private accounting. Only the worker that owns
+/// the shard for the current run ever touches it.
+struct EngineShard {
+    policy: Box<dyn CachePolicy>,
+    overall: TrafficCounter,
+    steady: TrafficCounter,
+    requests: u64,
+}
+
+/// Per-run context shared (immutably) by every worker.
+struct RunCtx<'a> {
+    chunk_size: ChunkSize,
+    k_bytes: u64,
+    steady_from: Timestamp,
+    check_invariants: bool,
+    obs: Option<&'a EngineObs>,
+}
+
+/// Handles one request on its owning shard: decide, verify, account.
+/// This — plus [`shard_of_video`] in the dispatch loop — is the engine's
+/// per-request path: no allocation, no map churn, no locks.
+// lint: hot
+fn process(shard: &mut EngineShard, request: &Request, ctx: &RunCtx<'_>) {
+    let chunks = request.chunk_len(ctx.chunk_size);
+    let decision = shard.policy.handle_request(request);
+    shard.requests += 1;
+    let in_steady = request.t >= ctx.steady_from;
+    match decision {
+        Decision::Serve(o) => {
+            if ctx.check_invariants {
+                assert_eq!(
+                    o.served_chunks(),
+                    chunks,
+                    "{}: serve must cover the full request",
+                    shard.policy.name()
+                );
+                assert!(
+                    shard.policy.disk_used_chunks() <= shard.policy.disk_capacity_chunks(),
+                    "{}: capacity exceeded",
+                    shard.policy.name()
+                );
+            }
+            let hit_b = o.hit_chunks * ctx.k_bytes;
+            let fill_b = o.filled_chunks * ctx.k_bytes;
+            shard.overall.record_hit(hit_b);
+            shard.overall.record_fill(fill_b);
+            shard.overall.served_requests += 1;
+            if in_steady {
+                shard.steady.record_hit(hit_b);
+                shard.steady.record_fill(fill_b);
+                shard.steady.served_requests += 1;
+            }
+            if let Some(obs) = ctx.obs {
+                obs.sink.counter_add(obs.served, 1);
+                obs.sink.counter_add(obs.hit_chunks, o.hit_chunks);
+                obs.sink.counter_add(obs.fill_chunks, o.filled_chunks);
+                obs.sink
+                    .counter_add(obs.evicted_chunks, o.evicted.len() as u64);
+            }
+        }
+        Decision::Redirect => {
+            let red_b = chunks * ctx.k_bytes;
+            shard.overall.record_redirect(red_b);
+            shard.overall.redirected_requests += 1;
+            if in_steady {
+                shard.steady.record_redirect(red_b);
+                shard.steady.redirected_requests += 1;
+            }
+            if let Some(obs) = ctx.obs {
+                obs.sink.counter_add(obs.redirected, 1);
+                obs.sink.counter_add(obs.redirect_chunks, chunks);
+            }
+        }
+    }
+}
+
+/// One shard's share of an [`EngineReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard index (also the partition id).
+    pub shard: usize,
+    /// The shard policy's name.
+    pub policy: &'static str,
+    /// The shard's capacity slice, in chunks.
+    pub capacity_chunks: u64,
+    /// Chunks on the shard's disk after the run.
+    pub used_chunks: u64,
+    /// Requests this shard handled.
+    pub requests: u64,
+    /// The shard's full-run traffic.
+    pub overall: TrafficCounter,
+    /// The shard's steady-state traffic.
+    pub steady: TrafficCounter,
+}
+
+/// Outcome of running a trace through the sharded engine.
+///
+/// Equality compares the deterministic payload — per-shard reports,
+/// dispatched count and cost model. `workers` is deliberately excluded so
+/// runs at different worker counts compare equal exactly when their
+/// shard-level accounting is bit-identical (the determinism contract).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Worker threads the run used.
+    pub workers: usize,
+    /// Requests dispatched into the engine over its lifetime.
+    pub dispatched: u64,
+    /// The cost model used for efficiency computation.
+    pub costs: CostModel,
+}
+
+impl PartialEq for EngineReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.shards == other.shards
+            && self.dispatched == other.dispatched
+            && self.costs == other.costs
+    }
+}
+
+impl EngineReport {
+    /// Sum of per-shard full-run traffic.
+    pub fn aggregate_overall(&self) -> TrafficCounter {
+        self.shards
+            .iter()
+            .fold(TrafficCounter::default(), |acc, s| acc + s.overall)
+    }
+
+    /// Sum of per-shard steady-state traffic.
+    pub fn aggregate_steady(&self) -> TrafficCounter {
+        self.shards
+            .iter()
+            .fold(TrafficCounter::default(), |acc, s| acc + s.steady)
+    }
+
+    /// Steady-state cache efficiency (Eq. 2) over the aggregate traffic.
+    pub fn efficiency(&self) -> f64 {
+        self.aggregate_steady().efficiency(self.costs)
+    }
+
+    /// Requests handled across all shards.
+    pub fn total_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+}
+
+/// The sharded concurrent cache front-end. See the module docs for the
+/// ownership and determinism model.
+pub struct ShardedEngine {
+    cfg: EngineConfig,
+    shards: Vec<EngineShard>,
+    obs: Option<EngineObs>,
+    dispatched: u64,
+    last_workers: usize,
+}
+
+impl fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("cfg", &self.cfg)
+            .field("shards", &self.shards.len())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// Builds an engine: `factory(shard_index, cache_config)` constructs
+    /// each shard's policy with its capacity slice. Rejects policies whose
+    /// chunk size, cost model or capacity disagree with the engine.
+    pub fn try_new<F>(cfg: EngineConfig, mut factory: F) -> Result<ShardedEngine, EngineError>
+    where
+        F: FnMut(usize, CacheConfig) -> Box<dyn CachePolicy>,
+    {
+        if cfg.shards == 0 {
+            return Err(EngineError::NoShards);
+        }
+        if cfg.disk_chunks < cfg.shards as u64 {
+            return Err(EngineError::DiskTooSmall {
+                shards: cfg.shards,
+                disk_chunks: cfg.disk_chunks,
+            });
+        }
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for (i, cap) in cfg.shard_capacities().into_iter().enumerate() {
+            let policy = factory(i, CacheConfig::new(cap, cfg.chunk_size, cfg.costs));
+            if policy.chunk_size() != cfg.chunk_size {
+                return Err(EngineError::PolicyMismatch {
+                    shard: i,
+                    what: "chunk size",
+                });
+            }
+            if (policy.costs().alpha() - cfg.costs.alpha()).abs() > 1e-12 {
+                return Err(EngineError::PolicyMismatch {
+                    shard: i,
+                    what: "cost model",
+                });
+            }
+            if policy.disk_capacity_chunks() != cap {
+                return Err(EngineError::PolicyMismatch {
+                    shard: i,
+                    what: "capacity",
+                });
+            }
+            shards.push(EngineShard {
+                policy,
+                overall: TrafficCounter::default(),
+                steady: TrafficCounter::default(),
+                requests: 0,
+            });
+        }
+        Ok(ShardedEngine {
+            cfg,
+            shards,
+            obs: None,
+            dispatched: 0,
+            last_workers: 1,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shard owning `video` under this engine's partition.
+    pub fn shard_of(&self, video: VideoId) -> usize {
+        shard_of_video(video, self.cfg.shards)
+    }
+
+    /// Whether `chunk` is cached, checked on its owning shard only (shard
+    /// ownership means no other shard can hold it).
+    pub fn contains_chunk(&self, chunk: ChunkId) -> bool {
+        self.shards[shard_of_chunk(chunk, self.cfg.shards)]
+            .policy
+            .contains_chunk(chunk)
+    }
+
+    /// Attaches shared metrics: each shard's policy records under
+    /// `{scope}.s{i:02}.{policy}`, and the engine registers
+    /// `{scope}.engine.*` aggregate counters updated atomically by the
+    /// workers. Call before [`ShardedEngine::run`]; snapshots taken at
+    /// quiescence (after `run` returns) are consistent with the report.
+    pub fn attach_obs(&mut self, sink: &Arc<dyn MetricsSink>, scope: &str) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let shard_scope = format!("{scope}.s{i:02}.{}", shard.policy.name());
+            shard
+                .policy
+                .attach_obs(PolicyObs::attach(Arc::clone(sink), &shard_scope));
+        }
+        self.obs = Some(EngineObs::attach(sink, scope));
+    }
+
+    /// Runs the whole trace through the engine on `workers` threads (plus
+    /// the calling thread as dispatcher; clamped to the shard count).
+    /// Per-shard results are bit-identical for any worker count.
+    pub fn run(&mut self, trace: &Trace, workers: usize) -> EngineReport {
+        self.run_prefix(trace, workers, trace.len())
+    }
+
+    /// Runs only the first `limit` requests, then closes the feed and
+    /// drains every queue — the deterministic stop/drain path. Every
+    /// dispatched request is processed exactly once; the report's
+    /// accounting equals a replay of the truncated trace.
+    ///
+    /// Running again continues with warm shards (counters and cache state
+    /// accumulate), mirroring a long-lived serving process; feed the
+    /// remaining suffix, not the same prefix — policies require request
+    /// timestamps to stay monotone across calls.
+    pub fn run_prefix(&mut self, trace: &Trace, workers: usize, limit: usize) -> EngineReport {
+        let limit = limit.min(trace.len());
+        assert!(
+            limit <= u32::MAX as usize,
+            "trace prefix too long for u32 request indices"
+        );
+        let n = self.cfg.shards;
+        let workers = workers.max(1).min(n);
+        let horizon = if trace.meta.duration > DurationMs::ZERO {
+            trace.meta.duration
+        } else {
+            DurationMs(trace.end_time().as_millis() + 1)
+        };
+        let steady_from = Timestamp((horizon.as_millis() as f64 * self.cfg.steady_after) as u64);
+        let ctx = RunCtx {
+            chunk_size: self.cfg.chunk_size,
+            k_bytes: self.cfg.chunk_size.bytes(),
+            steady_from,
+            check_invariants: self.cfg.check_invariants,
+            obs: self.obs.as_ref(),
+        };
+        let requests = &trace.requests[..limit];
+
+        if workers == 1 {
+            // Inline fast path: no queues, no extra threads — the honest
+            // single-thread baseline the contention bench compares against.
+            for request in requests {
+                let s = shard_of_video(request.video, n);
+                process(&mut self.shards[s], request, &ctx);
+            }
+        } else {
+            let batch = self.cfg.batch;
+            let queues: Vec<BatchQueue> = (0..workers)
+                .map(|_| BatchQueue::new(self.cfg.queue_depth))
+                .collect();
+            // Static shard ownership: worker w owns shards {s | s % workers == w},
+            // each stored at local index s / workers.
+            let mut owned: Vec<Vec<&mut EngineShard>> = (0..workers).map(|_| Vec::new()).collect();
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                owned[s % workers].push(shard);
+            }
+            std::thread::scope(|scope| {
+                for (w, mut own) in owned.into_iter().enumerate() {
+                    let queue = &queues[w];
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        while let Some(batch) = queue.pop() {
+                            for &idx in &batch {
+                                let request = &requests[idx as usize];
+                                let s = shard_of_video(request.video, n);
+                                process(own[s / workers], request, ctx);
+                            }
+                            queue.recycle(batch);
+                        }
+                    });
+                }
+                // The dispatcher: route every request (in trace order) to
+                // its shard's owning worker, flushing full batches.
+                let mut bufs: Vec<Vec<u32>> =
+                    (0..workers).map(|_| Vec::with_capacity(batch)).collect();
+                for (i, request) in requests.iter().enumerate() {
+                    let w = shard_of_video(request.video, n) % workers;
+                    let buf = &mut bufs[w];
+                    buf.push(i as u32);
+                    if buf.len() >= batch {
+                        queues[w].push(buf);
+                    }
+                }
+                for (w, buf) in bufs.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        queues[w].push(buf);
+                    }
+                    queues[w].close();
+                }
+            });
+        }
+
+        self.dispatched += limit as u64;
+        self.last_workers = workers;
+        self.report()
+    }
+
+    /// The engine's cumulative report (all requests run so far).
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardReport {
+                    shard: i,
+                    policy: s.policy.name(),
+                    capacity_chunks: s.policy.disk_capacity_chunks(),
+                    used_chunks: s.policy.disk_used_chunks(),
+                    requests: s.requests,
+                    overall: s.overall,
+                    steady: s.steady,
+                })
+                .collect(),
+            workers: self.last_workers,
+            dispatched: self.dispatched,
+            costs: self.cfg.costs,
+        }
+    }
+}
+
+/// Packages an engine run as a `vcdn-telemetry/1` bundle: a meta line
+/// identifying the engine run plus the registry's deterministic metric
+/// snapshots (per-shard policy scopes and the engine aggregates).
+///
+/// The worker count is deliberately **not** part of the meta line: bundles
+/// are byte-identical across worker counts, extending the repo-wide
+/// telemetry determinism contract to the concurrent engine.
+pub fn engine_bundle(report: &EngineReport, registry: &MetricsRegistry) -> TelemetryBundle {
+    let mut bundle = TelemetryBundle::new();
+    bundle.meta_entry("source", Json::Str("engine".into()));
+    bundle.meta_entry(
+        "policy",
+        Json::Str(
+            report
+                .shards
+                .first()
+                .map(|s| s.policy)
+                .unwrap_or("?")
+                .into(),
+        ),
+    );
+    bundle.meta_entry("shards", Json::Int(report.shards.len() as i128));
+    bundle.meta_entry("alpha", Json::Float(report.costs.alpha()));
+    bundle.meta_entry("dispatched", Json::Int(report.dispatched as i128));
+    let agg = report.aggregate_overall();
+    bundle.meta_entry("hit_bytes", Json::Int(agg.hit_bytes as i128));
+    bundle.meta_entry("fill_bytes", Json::Int(agg.fill_bytes as i128));
+    bundle.meta_entry("redirect_bytes", Json::Int(agg.redirect_bytes as i128));
+    bundle.metrics = registry.snapshot(true);
+    bundle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{ReplayConfig, Replayer};
+    use vcdn_core::{CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig, XlruCache};
+    use vcdn_trace::{ServerProfile, TraceGenerator};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(ServerProfile::tiny_test(), 99).generate(DurationMs::from_hours(12))
+    }
+
+    fn costs() -> CostModel {
+        CostModel::from_alpha(2.0).unwrap()
+    }
+
+    fn xlru_engine(shards: usize, disk: u64) -> ShardedEngine {
+        let cfg = EngineConfig::new(shards, disk, ChunkSize::DEFAULT, costs()).unwrap();
+        ShardedEngine::try_new(cfg, |_, cache| Box::new(XlruCache::new(cache))).unwrap()
+    }
+
+    #[test]
+    fn config_rejects_degenerate_shapes() {
+        let k = ChunkSize::DEFAULT;
+        assert_eq!(
+            EngineConfig::new(0, 64, k, costs()),
+            Err(EngineError::NoShards)
+        );
+        assert_eq!(
+            EngineConfig::new(8, 5, k, costs()),
+            Err(EngineError::DiskTooSmall {
+                shards: 8,
+                disk_chunks: 5
+            })
+        );
+        assert!(EngineConfig::new(8, 8, k, costs()).is_ok());
+    }
+
+    #[test]
+    fn capacities_sum_and_spread() {
+        let cfg = EngineConfig::new(5, 23, ChunkSize::DEFAULT, costs()).unwrap();
+        let caps = cfg.shard_capacities();
+        assert_eq!(caps, vec![5, 5, 5, 4, 4]);
+        assert_eq!(caps.iter().sum::<u64>(), 23);
+    }
+
+    #[test]
+    fn factory_mismatches_rejected() {
+        let k100 = ChunkSize::new(100).unwrap();
+        let cfg = EngineConfig::new(2, 64, ChunkSize::DEFAULT, costs()).unwrap();
+        let wrong_k = ShardedEngine::try_new(cfg, |_, _| {
+            Box::new(LruCache::new(CacheConfig::new(32, k100, costs())))
+        });
+        assert_eq!(
+            wrong_k.err(),
+            Some(EngineError::PolicyMismatch {
+                shard: 0,
+                what: "chunk size"
+            })
+        );
+        let wrong_cap = ShardedEngine::try_new(cfg, |_, _| {
+            Box::new(LruCache::new(CacheConfig::new(
+                7,
+                ChunkSize::DEFAULT,
+                costs(),
+            )))
+        });
+        assert_eq!(
+            wrong_cap.err(),
+            Some(EngineError::PolicyMismatch {
+                shard: 0,
+                what: "capacity"
+            })
+        );
+    }
+
+    #[test]
+    fn chunk_shard_follows_video_shard() {
+        for v in 0..200u64 {
+            let vid = VideoId(v);
+            let s = shard_of_video(vid, 7);
+            assert!(s < 7);
+            for c in [0u32, 1, 63, 1000] {
+                assert_eq!(shard_of_chunk(ChunkId::new(vid, c), 7), s);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_engine_matches_unsharded_replay() {
+        let t = trace();
+        let mut engine = xlru_engine(1, 96);
+        let engine_report = engine.run(&t, 1);
+
+        let mut cache = XlruCache::new(CacheConfig::new(96, ChunkSize::DEFAULT, costs()));
+        let replay =
+            Replayer::new(ReplayConfig::new(ChunkSize::DEFAULT, costs())).replay(&t, &mut cache);
+
+        let shard = &engine_report.shards[0];
+        assert_eq!(shard.overall, replay.overall);
+        assert_eq!(shard.steady, replay.steady);
+        assert_eq!(engine_report.efficiency(), replay.efficiency());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_any_shard_counter() {
+        let t = trace();
+        let reports: Vec<EngineReport> = [1, 2, 3, 8]
+            .into_iter()
+            .map(|w| xlru_engine(4, 96).run(&t, w))
+            .collect();
+        for r in &reports[1..] {
+            assert_eq!(&reports[0], r);
+        }
+        // Workers field reflects the actual (clamped) count but is
+        // excluded from equality.
+        assert_eq!(reports[3].workers, 4);
+    }
+
+    #[test]
+    fn every_request_lands_on_its_videos_shard() {
+        let t = trace();
+        let shards = 4;
+        let mut engine = xlru_engine(shards, 96);
+        let report = engine.run(&t, 2);
+        let per_shard = shard_requests(&t, shards);
+        for (s, expected) in per_shard.iter().enumerate() {
+            assert_eq!(
+                report.shards[s].requests,
+                expected.len() as u64,
+                "shard {s} request count"
+            );
+        }
+        assert_eq!(report.total_requests() as usize, t.len());
+        let requested: u64 = t
+            .requests
+            .iter()
+            .map(|r| r.chunk_len(ChunkSize::DEFAULT) * ChunkSize::DEFAULT.bytes())
+            .sum();
+        assert_eq!(report.aggregate_overall().requested_bytes(), requested);
+    }
+
+    #[test]
+    fn sharded_engine_equals_per_shard_replays() {
+        // The strongest oracle: shard s of the engine behaves exactly like
+        // a stand-alone cache of the shard's capacity replaying the
+        // shard's sub-trace.
+        let t = trace();
+        let shards = 3;
+        let mut engine = xlru_engine(shards, 97);
+        let report = engine.run(&t, 3);
+        let caps = engine.config().shard_capacities();
+        for (s, requests) in shard_requests(&t, shards).into_iter().enumerate() {
+            let sub = Trace::new(t.meta.clone(), requests);
+            let mut cache = XlruCache::new(CacheConfig::new(caps[s], ChunkSize::DEFAULT, costs()));
+            let replay = Replayer::new(ReplayConfig::new(ChunkSize::DEFAULT, costs()))
+                .replay(&sub, &mut cache);
+            assert_eq!(report.shards[s].overall, replay.overall, "shard {s}");
+            assert_eq!(report.shards[s].steady, replay.steady, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn run_prefix_equals_truncated_trace() {
+        let t = trace();
+        let cut = t.len() / 3;
+        let mut prefix_engine = xlru_engine(4, 96);
+        let prefix_report = prefix_engine.run_prefix(&t, 4, cut);
+
+        let truncated = Trace::new(t.meta.clone(), t.requests[..cut].to_vec());
+        let mut full_engine = xlru_engine(4, 96);
+        let full_report = full_engine.run(&truncated, 1);
+        assert_eq!(prefix_report, full_report);
+        assert_eq!(prefix_report.dispatched, cut as u64);
+    }
+
+    #[test]
+    fn warm_continuation_matches_uninterrupted_run() {
+        // Stopping after a prefix and continuing with the suffix must be
+        // indistinguishable from never stopping: cache state, counters and
+        // steady-state accounting all carry across run calls.
+        let t = trace();
+        let cut = t.len() / 2;
+        let mut split = xlru_engine(2, 96);
+        split.run_prefix(&t, 2, cut);
+        let suffix = Trace::new(t.meta.clone(), t.requests[cut..].to_vec());
+        let split_report = split.run(&suffix, 2);
+
+        let full_report = xlru_engine(2, 96).run(&t, 2);
+        assert_eq!(split_report, full_report);
+        assert_eq!(split_report.dispatched, t.len() as u64);
+    }
+
+    #[test]
+    fn all_four_policies_run_sharded() {
+        let t = trace();
+        let k = ChunkSize::DEFAULT;
+        let shards = 4;
+        let per_shard = shard_requests(&t, shards);
+        let mut engines: Vec<(&str, ShardedEngine)> = Vec::new();
+        let cfg = EngineConfig::new(shards, 96, k, costs()).unwrap();
+        engines.push((
+            "lru",
+            ShardedEngine::try_new(cfg, |_, c| Box::new(LruCache::new(c))).unwrap(),
+        ));
+        engines.push((
+            "xlru",
+            ShardedEngine::try_new(cfg, |_, c| Box::new(XlruCache::new(c))).unwrap(),
+        ));
+        engines.push((
+            "cafe",
+            ShardedEngine::try_new(cfg, |_, c| {
+                Box::new(CafeCache::new(CafeConfig {
+                    cache: c,
+                    ..CafeConfig::new(c.disk_chunks, k, costs())
+                }))
+            })
+            .unwrap(),
+        ));
+        engines.push((
+            "psychic",
+            ShardedEngine::try_new(cfg, |i, c| {
+                Box::new(PsychicCache::new(
+                    PsychicConfig::new(c.disk_chunks, k, costs()),
+                    &per_shard[i],
+                ))
+            })
+            .unwrap(),
+        ));
+        for (name, engine) in &mut engines {
+            let report = engine.run(&t, 3);
+            assert_eq!(
+                report.total_requests() as usize,
+                t.len(),
+                "{name} engine lost requests"
+            );
+            assert_eq!(report.shards[0].policy, *name);
+        }
+    }
+
+    #[test]
+    fn attached_registry_totals_match_report() {
+        let t = trace();
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink: Arc<dyn MetricsSink> = registry.clone();
+        let mut engine = xlru_engine(4, 96);
+        engine.attach_obs(&sink, "e0");
+        let report = engine.run(&t, 4);
+        let snap = registry.snapshot(true);
+        let metric = |name: &str| {
+            snap.iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .value
+        };
+        let agg = report.aggregate_overall();
+        assert_eq!(
+            metric("e0.engine.serve_requests_total"),
+            agg.served_requests
+        );
+        assert_eq!(
+            metric("e0.engine.redirect_requests_total"),
+            agg.redirected_requests
+        );
+        let k = ChunkSize::DEFAULT.bytes();
+        assert_eq!(metric("e0.engine.hit_chunks_total") * k, agg.hit_bytes);
+        assert_eq!(metric("e0.engine.fill_chunks_total") * k, agg.fill_bytes);
+        assert_eq!(
+            metric("e0.engine.redirect_chunks_total") * k,
+            agg.redirect_bytes
+        );
+        // Engine totals equal the sum of per-shard policy scopes.
+        let scoped_sum: u64 = snap
+            .iter()
+            .filter(|m| m.name.starts_with("e0.s") && m.name.ends_with("serve_requests_total"))
+            .map(|m| m.value)
+            .sum();
+        assert_eq!(scoped_sum, agg.served_requests);
+        // Per-shard scopes agree with the per-shard reports.
+        for shard in &report.shards {
+            assert_eq!(
+                metric(&format!("e0.s{:02}.xlru.serve_requests_total", shard.shard)),
+                shard.overall.served_requests,
+                "shard {} scope",
+                shard.shard
+            );
+        }
+    }
+
+    #[test]
+    fn engine_bundle_is_worker_count_invariant_jsonl() {
+        let t = trace();
+        let jsonl_for = |workers: usize| {
+            let registry = Arc::new(MetricsRegistry::new());
+            let sink: Arc<dyn MetricsSink> = registry.clone();
+            let mut engine = xlru_engine(4, 96);
+            engine.attach_obs(&sink, "e0");
+            let report = engine.run(&t, workers);
+            engine_bundle(&report, &registry).to_jsonl()
+        };
+        let w1 = jsonl_for(1);
+        let w4 = jsonl_for(4);
+        assert!(!w1.is_empty());
+        assert_eq!(w1, w4, "engine telemetry diverged across worker counts");
+        for line in w1.lines() {
+            vcdn_types::json::parse(line)
+                .unwrap_or_else(|e| panic!("bad JSONL line {line}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn contains_chunk_checks_owning_shard() {
+        let t = trace();
+        let mut engine = xlru_engine(4, 96);
+        engine.run(&t, 2);
+        let mut cached = 0u64;
+        for r in &t.requests {
+            for c in r.chunk_range(ChunkSize::DEFAULT).iter() {
+                if engine.contains_chunk(ChunkId::new(r.video, c)) {
+                    cached += 1;
+                }
+            }
+        }
+        let used: u64 = engine.report().shards.iter().map(|s| s.used_chunks).sum();
+        assert!(cached > 0, "warm engine should hold requested chunks");
+        assert!(used > 0);
+    }
+}

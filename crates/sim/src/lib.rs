@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod diskalloc;
+pub mod engine;
 pub mod fleet;
 pub mod hierarchy;
 pub mod models;
@@ -36,6 +37,10 @@ pub mod report;
 pub mod runner;
 pub mod shard;
 
+pub use engine::{
+    engine_bundle, shard_of_chunk, shard_of_video, shard_requests, EngineConfig, EngineError,
+    EngineReport, ShardReport, ShardedEngine,
+};
 pub use fleet::{replay_fleet, FleetReport};
 pub use hierarchy::{replay_hierarchy, HierarchyReport};
 pub use models::{DiskIoModel, EgressModel, EgressSummary};

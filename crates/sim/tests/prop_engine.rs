@@ -1,0 +1,153 @@
+//! Property tests for the sharded serving engine, driven by the repo's
+//! own [`DetRng`] (no external property-testing crates — the build is
+//! offline). Each property runs over many deterministic random cases, so
+//! failures are reproducible from the printed case parameters alone.
+//!
+//! Properties pinned here:
+//! * partition totality — every `ChunkId` maps to exactly one shard, and
+//!   always the shard of its video;
+//! * partition stability — the video→shard map is identical across
+//!   independent runs and independent engine instances;
+//! * capacity conservation — per-shard capacity slices sum to the
+//!   configured total for arbitrary (shards, disk) shapes;
+//! * stop/drain conservation — stopping the feed after a random number of
+//!   requests never loses or double-counts a request, at any worker count.
+
+use vcdn_core::{CachePolicy, XlruCache};
+use vcdn_sim::engine::{shard_of_chunk, shard_of_video, EngineConfig, ShardedEngine};
+use vcdn_trace::rng::DetRng;
+use vcdn_trace::{ServerProfile, Trace, TraceGenerator};
+use vcdn_types::{ChunkId, ChunkSize, CostModel, DurationMs, VideoId};
+
+const PROP_SEED: u64 = 0x5EED_6E61_4E50_5236; // stable per-file seed
+
+fn costs() -> CostModel {
+    CostModel::from_alpha(2.0).expect("valid alpha")
+}
+
+fn golden_trace(seed: u64, hours: u64) -> Trace {
+    TraceGenerator::new(ServerProfile::tiny_test(), seed).generate(DurationMs::from_hours(hours))
+}
+
+fn xlru_engine(shards: usize, disk: u64) -> ShardedEngine {
+    let cfg =
+        EngineConfig::new(shards, disk, ChunkSize::DEFAULT, costs()).expect("valid engine config");
+    ShardedEngine::try_new(cfg, |_, cache| -> Box<dyn CachePolicy> {
+        Box::new(XlruCache::new(cache))
+    })
+    .expect("engine builds")
+}
+
+/// Every chunk id maps to exactly one shard — the shard of its video —
+/// for randomized (video, index, shard-count) triples.
+#[test]
+fn every_chunk_maps_to_exactly_one_shard() {
+    let mut rng = DetRng::new(PROP_SEED);
+    for case in 0..2_000 {
+        let shards = rng.range_inclusive(1, 32) as usize;
+        let video = VideoId(rng.next_u64());
+        let index = rng.below(1 << 20) as u32;
+        let chunk = ChunkId::new(video, index);
+        let s = shard_of_chunk(chunk, shards);
+        assert!(s < shards, "case {case}: shard {s} out of range {shards}");
+        assert_eq!(
+            s,
+            shard_of_video(video, shards),
+            "case {case}: chunk strayed from its video's shard"
+        );
+        // Totality is exclusivity here: the map is a function of
+        // (video, shards) only, so no second shard can claim the chunk.
+        for other in 0..shards {
+            if other != s {
+                assert_ne!(
+                    shard_of_chunk(chunk, shards),
+                    other,
+                    "case {case}: chunk claimed by two shards"
+                );
+            }
+        }
+    }
+}
+
+/// The video→shard partition is stable: recomputing it — in any order,
+/// from any engine instance — yields the identical map.
+#[test]
+fn partition_is_stable_across_runs() {
+    let mut rng = DetRng::new(PROP_SEED ^ 1);
+    for _ in 0..20 {
+        let shards = rng.range_inclusive(1, 16) as usize;
+        let videos: Vec<VideoId> = (0..500).map(|_| VideoId(rng.below(1 << 44))).collect();
+        let first: Vec<usize> = videos.iter().map(|&v| shard_of_video(v, shards)).collect();
+        // Recompute in reverse order (no hidden state) and through engine
+        // instances (no per-instance salt).
+        let engine_a = xlru_engine(shards, 64);
+        let engine_b = xlru_engine(shards, 64);
+        for (i, &v) in videos.iter().enumerate().rev() {
+            assert_eq!(first[i], shard_of_video(v, shards));
+            assert_eq!(first[i], engine_a.shard_of(v));
+            assert_eq!(first[i], engine_b.shard_of(v));
+        }
+    }
+}
+
+/// Per-shard capacity slices sum to the configured total and differ by at
+/// most one chunk, for arbitrary valid (shards, disk_chunks) shapes.
+#[test]
+fn shard_capacities_sum_to_total() {
+    let mut rng = DetRng::new(PROP_SEED ^ 2);
+    for case in 0..2_000 {
+        let shards = rng.range_inclusive(1, 64) as usize;
+        let disk = rng.range_inclusive(shards as u64, 1 << 20);
+        let cfg = EngineConfig::new(shards, disk, ChunkSize::DEFAULT, costs())
+            .expect("valid engine config");
+        let caps = cfg.shard_capacities();
+        assert_eq!(caps.len(), shards, "case {case}");
+        assert_eq!(
+            caps.iter().sum::<u64>(),
+            disk,
+            "case {case}: slices must sum"
+        );
+        let min = caps.iter().min().expect("non-empty");
+        let max = caps.iter().max().expect("non-empty");
+        assert!(*min >= 1, "case {case}: a shard got zero capacity");
+        assert!(max - min <= 1, "case {case}: uneven split {min}..{max}");
+    }
+}
+
+/// Randomized stop/drain: dispatching a random prefix of the trace at a
+/// random worker count, stopping, then draining never loses or
+/// double-counts a request — the engine's accounting equals an
+/// uninterrupted single-worker run over the same prefix, request for
+/// request and byte for byte.
+#[test]
+fn random_stop_drain_conserves_every_request() {
+    let trace = golden_trace(4217, 12);
+    let mut rng = DetRng::new(PROP_SEED ^ 3);
+    for case in 0..12 {
+        let shards = rng.range_inclusive(1, 8) as usize;
+        let workers = rng.range_inclusive(1, 8) as usize;
+        let cut = rng.below(trace.len() as u64 + 1) as usize;
+
+        let mut stopped = xlru_engine(shards, 96);
+        let stopped_report = stopped.run_prefix(&trace, workers, cut);
+
+        let prefix = Trace::new(trace.meta.clone(), trace.requests[..cut].to_vec());
+        let mut oracle = xlru_engine(shards, 96);
+        let oracle_report = oracle.run(&prefix, 1);
+
+        assert_eq!(
+            stopped_report.dispatched, cut as u64,
+            "case {case} (shards={shards} workers={workers} cut={cut})"
+        );
+        assert_eq!(
+            stopped_report.total_requests(),
+            cut as u64,
+            "case {case}: lost or duplicated requests"
+        );
+        assert_eq!(
+            stopped_report, oracle_report,
+            "case {case} (shards={shards} workers={workers} cut={cut}): \
+             drained accounting diverged from uninterrupted run"
+        );
+    }
+}

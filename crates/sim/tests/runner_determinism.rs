@@ -6,6 +6,7 @@
 //! and with many, and asserts the two result vectors are identical.
 
 use vcdn_core::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
+use vcdn_sim::engine::{EngineConfig, EngineReport, ShardedEngine};
 use vcdn_sim::observe::{grid_jsonl, telemetry_cell, TelemetryConfig};
 use vcdn_sim::runner::{run_grid, Cell, CellResult};
 use vcdn_sim::{ReplayConfig, Replayer};
@@ -106,6 +107,113 @@ fn telemetry_export_is_byte_identical_across_worker_counts() {
         sequential, parallel,
         "telemetry JSONL diverged across worker counts"
     );
+}
+
+/// Runs the golden trace through a sharded engine (xLRU shards) at the
+/// given worker count.
+fn engine_run(trace: &Trace, shards: usize, workers: usize) -> EngineReport {
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+    let cfg = EngineConfig::new(shards, 96, k, costs).expect("valid engine config");
+    let mut engine = ShardedEngine::try_new(cfg, |_, cache| -> Box<dyn CachePolicy> {
+        Box::new(XlruCache::new(cache))
+    })
+    .expect("engine builds");
+    engine.run(trace, workers)
+}
+
+/// The engine-level extension of the same guarantee: the sharded serving
+/// engine produces bit-identical per-shard AND aggregate byte counters at
+/// 1, 2, 4 and 8 workers.
+#[test]
+fn engine_counters_identical_at_1_2_4_8_workers() {
+    let trace = trace();
+    let baseline = engine_run(&trace, 4, 1);
+    for workers in [2, 4, 8] {
+        let run = engine_run(&trace, 4, workers);
+        // Per-shard: EngineReport equality compares every shard's full
+        // accounting (and excludes the worker count by design).
+        assert_eq!(
+            baseline, run,
+            "per-shard counters diverged at {workers} workers"
+        );
+        // Aggregate: spelled out so a failure names the broken counter.
+        let (a, b) = (baseline.aggregate_overall(), run.aggregate_overall());
+        assert_eq!(a.hit_bytes, b.hit_bytes, "{workers} workers");
+        assert_eq!(a.fill_bytes, b.fill_bytes, "{workers} workers");
+        assert_eq!(a.redirect_bytes, b.redirect_bytes, "{workers} workers");
+        assert_eq!(a.served_requests, b.served_requests, "{workers} workers");
+        assert_eq!(
+            a.redirected_requests, b.redirected_requests,
+            "{workers} workers"
+        );
+        assert_eq!(
+            baseline.aggregate_steady(),
+            run.aggregate_steady(),
+            "{workers} workers"
+        );
+    }
+}
+
+/// Sharded-vs-unsharded oracle, part 1: a one-shard engine is exactly the
+/// single-cache replay — same overall and steady accounting, same Eq. 2
+/// efficiency.
+#[test]
+fn one_shard_engine_equals_single_cache_replay() {
+    let trace = trace();
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+    let engine_report = engine_run(&trace, 1, 4);
+
+    let mut cache = XlruCache::new(CacheConfig::new(96, k, costs));
+    let replay = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+
+    assert_eq!(engine_report.shards[0].overall, replay.overall);
+    assert_eq!(engine_report.shards[0].steady, replay.steady);
+    assert_eq!(engine_report.efficiency(), replay.efficiency());
+}
+
+/// Sharded-vs-unsharded oracle, part 2: for N > 1 the byte totals are
+/// conserved (every requested byte is hit, filled or redirected — same
+/// demand as the unsharded replay) and the Eq. 2 efficiency, computed
+/// over the summed shard counters, stays a well-formed efficiency close
+/// to the unsharded one (sharding partitions capacity, so small deviation
+/// is expected; divergence or NaN is a bug).
+#[test]
+fn multi_shard_totals_conserve_demand_and_efficiency() {
+    let trace = trace();
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+
+    let mut cache = XlruCache::new(CacheConfig::new(96, k, costs));
+    let replay = Replayer::new(ReplayConfig::new(k, costs)).replay(&trace, &mut cache);
+
+    for shards in [2, 4, 8] {
+        let report = engine_run(&trace, shards, 4);
+        let agg = report.aggregate_overall();
+        // Demand conservation: the sharded engine serves the same request
+        // stream, so total requested bytes and request counts must match
+        // the unsharded replay exactly.
+        assert_eq!(
+            agg.requested_bytes(),
+            replay.overall.requested_bytes(),
+            "{shards} shards"
+        );
+        assert_eq!(
+            agg.total_requests(),
+            replay.overall.total_requests(),
+            "{shards} shards"
+        );
+        // Efficiency: Eq. 2 over summed shard counters is well-formed and
+        // within a partitioning tolerance of the unsharded cache.
+        let eff = report.efficiency();
+        assert!(eff.is_finite(), "{shards} shards: efficiency {eff}");
+        assert!(
+            (eff - replay.efficiency()).abs() < 0.15,
+            "{shards} shards: sharded efficiency {eff} too far from unsharded {}",
+            replay.efficiency()
+        );
+    }
 }
 
 #[test]

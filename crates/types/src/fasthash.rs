@@ -128,6 +128,37 @@ impl Hasher for FxHasher {
 /// state, so hashes are reproducible across runs.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// Hashes one `u64` key through [`FxHasher`] without constructing a
+/// `BuildHasher` — the scalar entry point for shard selection, where the
+/// key is a packed [`ChunkId`](crate::ChunkId).
+///
+/// The stream is identical to `FxBuildHasher::default().hash_one(key)` for
+/// a `u64`, and — like everything in this module — deterministic across
+/// processes, so a shard partition derived from it is stable across runs.
+#[inline]
+// lint: hot
+pub fn hash_u64(key: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    h.finish()
+}
+
+/// Maps `key` to one of `shards` partitions: `hash_u64(key) % shards`.
+///
+/// Used by the sharded serving engine to assign every packed
+/// [`ChunkId`](crate::ChunkId) to exactly one policy shard; the high-bit
+/// fold in [`FxHasher::finish`] keeps the modulus well spread even for
+/// dense video IDs.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` (division by zero).
+#[inline]
+// lint: hot
+pub fn shard_for(key: u64, shards: usize) -> usize {
+    (hash_u64(key) % shards as u64) as usize
+}
+
 /// `HashMap` on the fast hasher (std `RandomState` under `--features
 /// std-hash`, the cross-hasher determinism check).
 #[cfg(not(feature = "std-hash"))]
@@ -243,6 +274,38 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_u64_matches_build_hasher_stream() {
+        for key in [0u64, 1, 42, u64::MAX, 0x9E37_79B9] {
+            assert_eq!(hash_u64(key), hash_of(&key));
+        }
+    }
+
+    #[test]
+    fn shard_for_is_stable_in_range_and_spread() {
+        let shards = 8;
+        let mut counts = [0u32; 8];
+        for v in 0u64..4096 {
+            let key = crate::ChunkId::new(crate::VideoId(v), 0).packed();
+            let s = shard_for(key, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_for(key, shards), "unstable shard for v{v}");
+            counts[s] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (300..800).contains(&c),
+                "shard {s} got {c} of 4096 dense videos — poor spread"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shard_for_zero_shards_panics() {
+        let _ = shard_for(7, 0);
     }
 
     #[test]

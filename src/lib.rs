@@ -42,6 +42,7 @@
 
 pub use vcdn_core as cache;
 pub use vcdn_lp as lp;
+pub use vcdn_obs as obs;
 pub use vcdn_sim as sim;
 pub use vcdn_trace as trace;
 pub use vcdn_types as types;
