@@ -291,11 +291,23 @@ fn main() {
     let check: Option<String> = arg_flag("check");
     let threads = parse_threads();
 
+    // Record the machine's actual parallelism up front, and be honest on
+    // stderr when the sweep asks for more workers than there are cores:
+    // oversubscribed points measure scheduler interleaving, not scaling.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = threads.iter().copied().max().unwrap_or(1);
+    if cores < max_threads {
+        eprintln!(
+            "[contention] WARNING: {cores} online core(s) < {max_threads} requested \
+             worker(s); oversubscribed sweep points do not measure real scaling"
+        );
+    }
+
     let k = ChunkSize::DEFAULT;
     let disk = scale.disk_chunks(PAPER_DISK_BYTES, k).max(shards as u64);
     let costs = CostModel::from_alpha(2.0).expect("valid alpha");
     eprintln!(
-        "[contention] scale={} days={days} shards={shards} disk={disk} chunks, threads={threads:?}, reps={reps}",
+        "[contention] scale={} days={days} shards={shards} disk={disk} chunks, threads={threads:?}, reps={reps}, cores={cores}",
         scale.0
     );
     let t0 = Instant::now();
@@ -347,7 +359,6 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = json_of(
         &RunShape {
             scale: scale.0,

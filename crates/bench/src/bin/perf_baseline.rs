@@ -10,6 +10,12 @@
 //! perf smoke job uses it to pin the replay outputs while still uploading
 //! fresh timing numbers as an artifact.
 //!
+//! Besides whole-replay throughput, each policy gets one extra observed
+//! replay that buckets per-request decide-path wall latency into the
+//! vcdn-obs log histogram; the JSON carries `decide_ns_p50` /
+//! `decide_ns_p99` / `decide_ns_mean` per policy (timing fields, excluded
+//! from `--check` like the throughput numbers — see OBSERVABILITY.md).
+//!
 //! Flags: `--scale <f>` (default 1/16), `--days <n>` (default 30),
 //! `--reps <n>` timed replays per policy, best-of (default 3),
 //! `--out <path>` (default `BENCH_PR2.json`), `--check <path>`.
@@ -17,16 +23,51 @@
 use std::time::Instant;
 
 use vcdn_bench::{arg_flag, trace_for, Algo, Scale, EXPERIMENT_SEED, PAPER_DISK_BYTES};
+use vcdn_obs::histogram::{bucket_index, HistogramSnapshot, BUCKETS};
 use vcdn_sim::report::{eff, Table};
-use vcdn_sim::{ReplayConfig, ReplayReport, Replayer};
+use vcdn_sim::{DecisionCtx, ReplayConfig, ReplayObserver, ReplayReport, Replayer};
 use vcdn_trace::ServerProfile;
 use vcdn_types::json::Json;
 use vcdn_types::{ChunkSize, CostModel};
+
+/// Buckets per-request decide-path wall latency (ns) into the shared
+/// vcdn-obs log-histogram layout. Runs on its own replay so the timed
+/// best-of reps stay clock-free.
+struct LatencyObserver {
+    hist: HistogramSnapshot,
+}
+
+impl LatencyObserver {
+    fn new() -> Self {
+        LatencyObserver {
+            hist: HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: vec![0; BUCKETS],
+            },
+        }
+    }
+}
+
+impl ReplayObserver for LatencyObserver {
+    fn wants_timing(&self) -> bool {
+        true
+    }
+
+    fn on_decision(&mut self, ctx: &DecisionCtx<'_>) {
+        if let Some(ns) = ctx.latency_ns {
+            self.hist.count += 1;
+            self.hist.sum += ns;
+            self.hist.buckets[bucket_index(ns)] += 1;
+        }
+    }
+}
 
 /// One policy's measured row.
 struct PolicyPerf {
     report: ReplayReport,
     best_secs: f64,
+    decide_ns: HistogramSnapshot,
 }
 
 fn json_of(scale: f64, days: u64, requests: u64, rows: &[PolicyPerf]) -> Json {
@@ -41,6 +82,15 @@ fn json_of(scale: f64, days: u64, requests: u64, rows: &[PolicyPerf]) -> Json {
                     Json::Float(requests as f64 / p.best_secs),
                 ),
                 ("replay_wall_ms".into(), Json::Float(p.best_secs * 1_000.0)),
+                (
+                    "decide_ns_p50".into(),
+                    Json::Int(p.decide_ns.quantile_upper_bound(0.50) as i128),
+                ),
+                (
+                    "decide_ns_p99".into(),
+                    Json::Int(p.decide_ns.quantile_upper_bound(0.99) as i128),
+                ),
+                ("decide_ns_mean".into(), Json::Float(p.decide_ns.mean())),
                 (
                     "efficiency_steady".into(),
                     Json::Float(p.report.efficiency()),
@@ -79,7 +129,13 @@ fn json_of(scale: f64, days: u64, requests: u64, rows: &[PolicyPerf]) -> Json {
 
 /// Machine-dependent timing fields, excluded from golden comparison
 /// (see `vcdn_bench::baseline` for the shared diff machinery).
-const TIMING: [&str; 2] = ["requests_per_sec", "replay_wall_ms"];
+const TIMING: [&str; 5] = [
+    "requests_per_sec",
+    "replay_wall_ms",
+    "decide_ns_p50",
+    "decide_ns_p99",
+    "decide_ns_mean",
+];
 
 fn main() {
     let scale = Scale::from_args();
@@ -122,13 +178,32 @@ fn main() {
             report = Some(r);
         }
         let report = report.expect("reps >= 1");
+        // One observed replay for the decide-path latency histogram; the
+        // per-request clock reads make it slower than the timed reps, so
+        // it runs separately and must reproduce the same report.
+        let mut observer = LatencyObserver::new();
+        let mut policy = algo.build(&trace, disk, k, costs);
+        let observed = replayer.replay_observed(&trace, policy.as_mut(), &mut observer);
+        assert_eq!(
+            report,
+            observed,
+            "{}: observed replay diverged",
+            algo.name()
+        );
+        let decide_ns = observer.hist;
         eprintln!(
-            "[perf_baseline] {:<8} {:>10.0} req/s  efficiency {:.4}",
+            "[perf_baseline] {:<8} {:>10.0} req/s  efficiency {:.4}  decide p50/p99 {}ns/{}ns",
             report.policy,
             requests as f64 / best_secs,
-            report.efficiency()
+            report.efficiency(),
+            decide_ns.quantile_upper_bound(0.50),
+            decide_ns.quantile_upper_bound(0.99),
         );
-        rows.push(PolicyPerf { report, best_secs });
+        rows.push(PolicyPerf {
+            report,
+            best_secs,
+            decide_ns,
+        });
     }
 
     let mut table = Table::new(vec!["policy", "req/s", "efficiency", "steady bytes h/f/r"]);

@@ -22,19 +22,17 @@
 
 use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{
-    ChunkId, ChunkSize, CostModel, Decision, DurationMs, FastMap, FastSet, Request, ServeOutcome,
+    ChunkId, ChunkSize, CostModel, Decision, DurationMs, FastMap, Request, ServeOutcome,
     Timestamp, VideoId,
 };
 
 use crate::{
-    ds::KeyedSet,
+    ds::{pop_table::MIN_IAT_MS, PopTable, RankIndex, NO_HANDLE},
     policy::{CacheConfig, CachePolicy},
 };
 
 /// How many requests between popularity-state garbage sweeps.
 const CLEANUP_INTERVAL: u64 = 4096;
-/// Minimum inter-arrival time (ms) used in divisions.
-const MIN_IAT_MS: f64 = 1.0;
 
 /// Cafe's look-ahead window `T` in Eqs. 6–7.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,65 +96,6 @@ impl CafeConfig {
     }
 }
 
-/// Per-chunk EWMA inter-arrival state (Eq. 8).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct IatState {
-    /// Last EWMA-ed inter-arrival time `dt_x` (ms); `None` until a second
-    /// access provides the first interval.
-    dt: Option<f64>,
-    /// Last access time `t_x`.
-    t_last: Timestamp,
-}
-
-impl IatState {
-    fn first_seen(t: Timestamp) -> Self {
-        IatState {
-            dt: None,
-            t_last: t,
-        }
-    }
-
-    /// Eq. 8 update on a new access at `t`:
-    /// `dt ← γ(t − t_x) + (1 − γ)·dt;  t_x ← t`.
-    fn update(&mut self, t: Timestamp, gamma: f64) {
-        let gap = (t - self.t_last).as_millis() as f64;
-        self.dt = Some(match self.dt {
-            Some(dt) => gamma * gap + (1.0 - gamma) * dt,
-            // First observed interval seeds the average.
-            None => gap,
-        });
-        self.t_last = t;
-    }
-
-    /// Eq. 8 query: `IAT_x(t) = γ(t − t_x) + (1 − γ)·dt` (ms), or `None`
-    /// while the chunk has been seen only once.
-    fn iat_at(&self, t: Timestamp, gamma: f64) -> Option<f64> {
-        self.dt.map(|dt| {
-            (gamma * (t - self.t_last).as_millis() as f64 + (1.0 - gamma) * dt).max(MIN_IAT_MS)
-        })
-    }
-
-    /// Eq. 9: the virtual-timestamp insertion key
-    /// `key_x(t) = t − IAT_x(t)`; falls back to `t − fallback_iat` when no
-    /// interval has been observed yet.
-    fn key_at(&self, t: Timestamp, gamma: f64, fallback_iat: f64) -> f64 {
-        let iat = self.iat_at(t, gamma).unwrap_or(fallback_iat);
-        t.as_millis() as f64 - iat
-    }
-
-    /// Rank key for the uncached-chunk mirror: by the Theorem 1 algebra,
-    /// `IAT_x(t) − IAT_y(t) = −γ(t_x − t_y) + (1−γ)(dt_x − dt_y)` is
-    /// constant in `t`, so sorting ascending by
-    /// `((1−γ)/γ)·dt_x − t_x = IAT_x(t)/γ − t` (a per-chunk constant up to
-    /// the shared `−t` term) reproduces ascending-IAT order at any common
-    /// evaluation time — without re-keying on the clock. `None` until an
-    /// interval is known (no IAT ⇒ not a prefetch candidate).
-    fn hot_rank(&self, gamma: f64) -> Option<f64> {
-        self.dt
-            .map(|dt| (1.0 - gamma) / gamma * dt - self.t_last.as_millis() as f64)
-    }
-}
-
 /// The Cafe cache.
 ///
 /// # Examples
@@ -174,26 +113,35 @@ impl IatState {
 #[derive(Debug, Clone)]
 pub struct CafeCache {
     config: CafeConfig,
-    /// EWMA popularity state for every recently seen chunk (cached or not).
-    iat: FastMap<ChunkId, IatState>,
+    /// EWMA popularity state for every recently seen chunk (cached or
+    /// not), in struct-of-arrays slabs addressed by compact handles.
+    pop: PopTable,
     /// Video-level last-seen tracker (drives the never-seen-video rule).
     video_seen: FastMap<VideoId, Timestamp>,
-    /// Cached chunks ordered by virtual timestamp (Eq. 9).
-    disk: KeyedSet<ChunkId>,
-    /// Chunk indices cached per video (for the unseen-chunk estimate).
-    video_chunks: FastMap<VideoId, FastSet<u32>>,
+    /// Cached chunks ordered by virtual timestamp (Eq. 9) in the bucketed
+    /// rank index; each entry carries its [`PopTable`] handle as the aux
+    /// payload so eviction scans never probe the hash map.
+    disk: RankIndex<ChunkId>,
+    /// Chunk indices cached per video, each carrying its [`PopTable`]
+    /// handle ([`NO_HANDLE`] when the chunk has no popularity record) so
+    /// the unseen-chunk estimate reads the slabs without a hash probe per
+    /// chunk. Handles are stable while a chunk stays cached: `retain`
+    /// never sweeps a cached chunk's record.
+    video_chunks: FastMap<VideoId, FastMap<u32, u32>>,
     /// Tracked-but-uncached chunks ranked hottest-first (smallest
-    /// [`IatState::hot_rank`]); maintained only while the §10 prefetcher
+    /// [`PopTable::hot_rank`]); maintained only while the §10 prefetcher
     /// has called [`Self::enable_hot_tracking`] — plain replay pays
     /// nothing for it.
-    hot: Option<KeyedSet<ChunkId>>,
+    hot: Option<RankIndex<ChunkId>>,
     handled: u64,
     replay_start: Option<Timestamp>,
     obs: PolicyObs,
     last_detail: DecisionDetail,
     /// Reusable per-request buffers: the decide path allocates nothing.
+    /// Missing chunks travel with their popularity handle so the Eq. 7
+    /// loop and the fill loop read the slabs directly.
     scratch_present: Vec<ChunkId>,
-    scratch_missing: Vec<ChunkId>,
+    scratch_missing: Vec<(ChunkId, u32, f64)>,
 }
 
 impl CafeCache {
@@ -201,9 +149,9 @@ impl CafeCache {
     pub fn new(config: CafeConfig) -> Self {
         CafeCache {
             config,
-            iat: FastMap::default(),
+            pop: PopTable::new(),
             video_seen: FastMap::default(),
-            disk: KeyedSet::new(),
+            disk: RankIndex::new(),
             video_chunks: FastMap::default(),
             hot: None,
             handled: 0,
@@ -245,13 +193,11 @@ impl CafeCache {
         }
         let chunks = self.video_chunks.get(&v)?;
         let mut max_iat: Option<f64> = None;
-        for &c in chunks {
-            let id = ChunkId::new(v, c);
-            if let Some(iat) = self
-                .iat
-                .get(&id)
-                .and_then(|s| s.iat_at(now, self.config.gamma))
-            {
+        // `f64::max` over the tracked chunks' IATs is iteration-order
+        // independent (no NaNs), so the hasher-dependent map order is
+        // fine here.
+        for &h in chunks.values() {
+            if let Some(iat) = self.pop.iat_at(h, now, self.config.gamma) {
                 max_iat = Some(max_iat.map_or(iat, |m: f64| m.max(iat)));
             }
         }
@@ -272,14 +218,13 @@ impl CafeCache {
     // lint: hot
     fn remove_chunk(&mut self, id: ChunkId) {
         self.disk.remove(&id);
-        if let Some(hot) = &mut self.hot {
-            // Still tracked by the popularity table: becomes a candidate.
-            if let Some(rank) = self
-                .iat
-                .get(&id)
-                .and_then(|s| s.hot_rank(self.config.gamma))
-            {
-                hot.insert(id, rank);
+        // The disk slot is freed for reuse: drop the back-reference.
+        if let Some(h) = self.pop.clear_backref(&id) {
+            if let Some(hot) = &mut self.hot {
+                // Still tracked by the popularity table: a candidate.
+                if let Some(rank) = self.pop.hot_rank(h, self.config.gamma) {
+                    hot.insert(id, rank, h);
+                }
             }
         }
         if let Some(set) = self.video_chunks.get_mut(&id.video) {
@@ -291,15 +236,19 @@ impl CafeCache {
     }
 
     // lint: hot
-    fn insert_chunk(&mut self, id: ChunkId, key: f64) {
-        self.disk.insert(id, key);
+    /// Admits `id` at virtual key `key`; `h` is its popularity handle
+    /// ([`NO_HANDLE`] when the chunk has no popularity record).
+    fn insert_chunk(&mut self, id: ChunkId, key: f64, h: u32) {
+        let slot = self.disk.insert(id, key, h);
+        // No-op when the chunk has no popularity record (h == NO_HANDLE).
+        self.pop.set_backref(&id, slot);
         if let Some(hot) = &mut self.hot {
             hot.remove(&id);
         }
         self.video_chunks
             .entry(id.video)
             .or_default()
-            .insert(id.index);
+            .insert(id.index, h);
     }
 
     /// Drops popularity state for chunks and videos not seen within twice
@@ -311,11 +260,13 @@ impl CafeCache {
         }
         let cutoff = Timestamp(now.as_millis().saturating_sub((2.0 * age) as u64));
         let disk = &self.disk;
-        self.iat
-            .retain(|id, st| disk.contains(id) || st.t_last >= cutoff);
+        // Cheap recency test first: most records are recent, so the
+        // cached-membership hash probe only runs for the stale minority.
+        self.pop
+            .retain(|id, t_last| t_last >= cutoff || disk.contains(id));
         let video_chunks = &self.video_chunks;
         self.video_seen
-            .retain(|v, t| video_chunks.contains_key(v) || *t >= cutoff);
+            .retain(|v, t| *t >= cutoff || video_chunks.contains_key(v));
         if self.hot.is_some() {
             // Rebuild rather than diff the retained set; sweeps are rare.
             self.enable_hot_tracking();
@@ -323,17 +274,18 @@ impl CafeCache {
     }
 
     /// Turns on incremental maintenance of the hot uncached-chunk mirror,
-    /// making [`Self::prefetch_candidates`] O(n log N) in the candidate
-    /// count instead of a scan-and-sort of the whole popularity table.
-    /// Used by [`crate::prefetch::ProactiveCafeCache`], which polls for
+    /// making [`Self::prefetch_candidates`] an incremental bucketed read
+    /// (amortized near-linear in the candidate count) instead of a
+    /// scan-and-sort of the whole popularity table. Used by
+    /// [`crate::prefetch::ProactiveCafeCache`], which polls for
     /// candidates every tick.
     pub fn enable_hot_tracking(&mut self) {
         let gamma = self.config.gamma;
-        let mut hot = KeyedSet::new();
-        for (id, st) in &self.iat {
-            if !self.disk.contains(id) {
-                if let Some(rank) = st.hot_rank(gamma) {
-                    hot.insert(*id, rank);
+        let mut hot = RankIndex::new();
+        for (id, h) in self.pop.iter() {
+            if !self.disk.contains(&id) {
+                if let Some(rank) = self.pop.hot_rank(h, gamma) {
+                    hot.insert(id, rank, h);
                 }
             }
         }
@@ -342,7 +294,7 @@ impl CafeCache {
 
     /// Number of chunk popularity records currently held (for tests).
     pub fn tracked_chunks(&self) -> usize {
-        self.iat.len()
+        self.pop.len()
     }
 
     /// Popularity entries sorted by chunk id (snapshot support). Keys are
@@ -350,9 +302,12 @@ impl CafeCache {
     /// sort's temporary buffer.
     pub(crate) fn iat_entries(&self) -> Vec<(ChunkId, Option<f64>, Timestamp)> {
         let mut v: Vec<(ChunkId, Option<f64>, Timestamp)> = self
-            .iat
+            .pop
             .iter()
-            .map(|(id, st)| (*id, st.dt, st.t_last))
+            .map(|(id, h)| {
+                let (dt, t_last) = self.pop.raw(h);
+                (id, dt, t_last)
+            })
             .collect();
         v.sort_unstable_by_key(|(id, _, _)| *id);
         v
@@ -368,7 +323,7 @@ impl CafeCache {
 
     /// Cached chunks with their virtual keys, ascending (snapshot support).
     pub(crate) fn disk_entries(&self) -> Vec<(ChunkId, f64)> {
-        self.disk.iter_ascending().collect()
+        self.disk.entries_ascending()
     }
 
     /// Requests handled so far (snapshot support).
@@ -393,13 +348,17 @@ impl CafeCache {
     ) -> CafeCache {
         let mut cache = CafeCache::new(config);
         for &(id, dt, t_last) in iat {
-            cache.iat.insert(id, IatState { dt, t_last });
+            cache.pop.insert_raw(id, dt, t_last);
         }
         for &(v, t) in video_seen {
             cache.video_seen.insert(v, t);
         }
         for &(id, key) in disk {
-            cache.insert_chunk(id, key);
+            // A disk chunk whose popularity record was swept before the
+            // snapshot carries the no-record sentinel, exactly as the
+            // hash-map layout answered `None` for it.
+            let h = cache.pop.handle_of(&id).unwrap_or(NO_HANDLE);
+            cache.insert_chunk(id, key, h);
         }
         cache.handled = handled;
         cache.replay_start = replay_start;
@@ -426,29 +385,37 @@ impl CafeCache {
     /// the §10 "proactive caching" extension, ordered by ascending
     /// inter-arrival time (hottest first). With
     /// [`Self::enable_hot_tracking`] on, reads the incrementally
-    /// maintained mirror in O(n log N); otherwise scans and sorts the
-    /// whole popularity table — in that mode call it once per control
-    /// window, not per request. (The two paths can order differently only
-    /// on exact rank ties or when IATs clamp at the 1 ms floor.)
-    pub fn prefetch_candidates(&self, n: usize, now: Timestamp) -> Vec<(ChunkId, f64)> {
+    /// maintained bucketed mirror: amortized O(n) in the candidate count,
+    /// plus a one-off O(S log S) sort of each not-yet-sorted bucket the
+    /// read enters (`&mut self` pays for exactly that lazy sorting);
+    /// otherwise scans and sorts the whole popularity table — in that
+    /// mode call it once per control window, not per request. (The two
+    /// paths can order differently only on exact rank ties or when IATs
+    /// clamp at the 1 ms floor.)
+    pub fn prefetch_candidates(&mut self, n: usize, now: Timestamp) -> Vec<(ChunkId, f64)> {
         let gamma = self.config.gamma;
-        if let Some(hot) = &self.hot {
+        if let Some(hot) = &mut self.hot {
             // Mirror entries always have a known IAT (they are inserted on
             // the second arrival); a missing one would be a tracker bug, and
             // skipping it degrades gracefully instead of tearing down a run.
-            return hot
-                .iter_smallest_excluding(n, |_| false)
-                .filter_map(|(id, _)| {
-                    let iat = self.iat.get(&id)?.iat_at(now, gamma)?;
-                    Some((id, iat))
-                })
-                .collect();
+            let pop = &self.pop;
+            let mut out = Vec::new();
+            hot.for_smallest_excluding(
+                n,
+                |_| false,
+                |id, _, h| {
+                    if let Some(iat) = pop.iat_at(h, now, gamma) {
+                        out.push((id, iat));
+                    }
+                },
+            );
+            return out;
         }
         let mut hot: Vec<(ChunkId, f64)> = self
-            .iat
+            .pop
             .iter()
             .filter(|(id, _)| !self.disk.contains(id))
-            .filter_map(|(id, st)| st.iat_at(now, gamma).map(|iat| (*id, iat)))
+            .filter_map(|(id, h)| self.pop.iat_at(h, now, gamma).map(|iat| (id, iat)))
             .collect();
         // total_cmp agrees with partial_cmp on these IATs (finite, clamped
         // to the 1 ms floor, never -0.0) and cannot panic.
@@ -469,7 +436,10 @@ impl CafeCache {
             return Err(());
         }
         let gamma = self.config.gamma;
-        let Some(iat) = self.iat.get(&chunk).and_then(|s| s.iat_at(now, gamma)) else {
+        let Some(h) = self.pop.handle_of(&chunk) else {
+            return Err(());
+        };
+        let Some(iat) = self.pop.iat_at(h, now, gamma) else {
             return Err(());
         };
         let key = now.as_millis() as f64 - iat;
@@ -485,7 +455,7 @@ impl CafeCache {
                 _ => return Err(()),
             }
         };
-        self.insert_chunk(chunk, key);
+        self.insert_chunk(chunk, key, h);
         Ok(evicted)
     }
 }
@@ -522,30 +492,50 @@ impl CachePolicy for CafeCache {
         let range = request.chunk_range(k);
         for c in range.iter() {
             let id = ChunkId::new(request.video, c);
-            let state = self
-                .iat
-                .entry(id)
-                .and_modify(|s| s.update(now, gamma))
-                .or_insert_with(|| IatState::first_seen(now));
-            if self.disk.contains(&id) {
-                // Re-key to the refreshed virtual timestamp.
-                let key = state.key_at(now, gamma, 0.0);
-                self.disk.insert(id, key);
+            // The popularity record's back-reference answers "cached, and
+            // where in the rank index" straight off the `touch` probe: a
+            // present chunk classifies AND re-keys (an O(1) bucket move
+            // to the refreshed virtual timestamp) with that one hash
+            // probe and no further lookups.
+            let (h, slot, dt) = self.pop.touch(id, now, gamma);
+            if slot != NO_HANDLE {
+                let key = PopTable::key_fresh(dt, now, gamma, 0.0);
+                self.disk.rekey_slot(slot, key, h);
+                present.push(id);
+            } else if let Some(slot) = self.disk.slot_of(&id) {
+                // Cached chunk whose popularity record predates this
+                // `touch` (possible only after a snapshot restore dropped
+                // it): resync the back-reference on first contact.
+                let key = self.pop.key_at(h, now, gamma, 0.0);
+                self.disk.rekey_slot(slot, key, h);
+                self.pop.set_backref(&id, slot);
+                if let Some(set) = self.video_chunks.get_mut(&id.video) {
+                    // The restore recorded NO_HANDLE; patch in the live
+                    // handle so the unseen-chunk estimate sees this chunk.
+                    set.insert(id.index, h);
+                }
                 present.push(id);
             } else {
                 if let Some(hot) = &mut self.hot {
-                    if let Some(rank) = state.hot_rank(gamma) {
-                        hot.insert(id, rank);
+                    if let Some(rank) = self.pop.hot_rank(h, gamma) {
+                        hot.insert(id, rank, h);
                     }
                 }
-                missing.push(id);
+                missing.push((id, h, dt));
             }
         }
         self.video_seen.insert(request.video, now);
         let s_total = (present.len() + missing.len()) as f64;
         let warmup = (self.disk.len() as u64) < capacity;
 
-        let video_estimate = self.video_iat_estimate(request.video, now);
+        // The §6 estimate is only ever read for missing chunks (in the
+        // Eq. 7 sum and as the fill-key fallback), so a full hit — the
+        // common case — skips the per-video IAT max entirely.
+        let video_estimate = if missing.is_empty() {
+            None
+        } else {
+            self.video_iat_estimate(request.video, now)
+        };
         self.last_detail = DecisionDetail::age_only(self.cache_age_ms(now));
         let serve = if warmup {
             true
@@ -562,24 +552,24 @@ impl CachePolicy for CafeCache {
 
             // Eq. 6: fill cost now + expected future cost of evictees.
             // (Requested chunks are few: a linear `contains` beats
-            // building a set per request.)
+            // building a set per request.) The candidate walk reads the
+            // popularity slabs through each entry's aux handle — no hash
+            // probe per candidate.
             let mut e_serve = missing.len() as f64 * costs.c_f();
-            for (id, _) in self
-                .disk
-                .iter_smallest_excluding(evict_needed, |id| present.contains(id))
-            {
-                let iat = self.iat.get(&id).and_then(|s| s.iat_at(now, gamma));
-                e_serve += Self::future_requests(t_window, iat) * min_cost;
-            }
+            let pop = &self.pop;
+            self.disk.for_smallest_excluding(
+                evict_needed,
+                |id| present.contains(id),
+                |_, _, h| {
+                    let iat = pop.iat_at(h, now, gamma);
+                    e_serve += Self::future_requests(t_window, iat) * min_cost;
+                },
+            );
             // Eq. 7: redirect cost now + expected future cost of the
             // still-missing chunks.
             let mut e_redirect = s_total * costs.c_r();
-            for id in &missing {
-                let iat = self
-                    .iat
-                    .get(id)
-                    .and_then(|s| s.iat_at(now, gamma))
-                    .or(video_estimate);
+            for &(_, _, dt) in &missing {
+                let iat = PopTable::iat_fresh(dt, gamma).or(video_estimate);
                 e_redirect += Self::future_requests(t_window, iat) * min_cost;
             }
             self.last_detail = DecisionDetail::costs(e_serve, e_redirect, self.cache_age_ms(now));
@@ -595,10 +585,10 @@ impl CachePolicy for CafeCache {
                 ((self.disk.len() + missing.len()) as u64).saturating_sub(capacity) as usize;
             let mut evicted = Vec::new();
             if evict_needed > 0 {
-                evicted.extend(
-                    self.disk
-                        .iter_smallest_excluding(evict_needed, |id| present.contains(id))
-                        .map(|(id, _)| id),
+                self.disk.for_smallest_excluding(
+                    evict_needed,
+                    |id| present.contains(id),
+                    |id, _, _| evicted.push(id),
                 );
                 for &id in &evicted {
                     self.remove_chunk(id);
@@ -606,10 +596,10 @@ impl CachePolicy for CafeCache {
             }
             let free = capacity - self.disk.len() as u64;
             let keep_from = missing.len().saturating_sub(free as usize);
-            for id in &missing[keep_from..] {
-                let fallback = video_estimate.unwrap_or(0.0);
-                let key = self.iat[id].key_at(now, gamma, fallback);
-                self.insert_chunk(*id, key);
+            let fallback = video_estimate.unwrap_or(0.0);
+            for &(id, h, dt) in &missing[keep_from..] {
+                let key = PopTable::key_fresh(dt, now, gamma, fallback);
+                self.insert_chunk(id, key, h);
             }
             Decision::Serve(ServeOutcome {
                 hit_chunks: present.len() as u64,
@@ -691,46 +681,32 @@ mod tests {
     }
 
     #[test]
-    fn ewma_iat_update_matches_eq8() {
-        let mut s = IatState::first_seen(Timestamp(0));
-        assert_eq!(s.iat_at(Timestamp(10), 0.25), None);
-        s.update(Timestamp(100), 0.25); // first interval: dt = 100
-        assert!((s.dt.unwrap() - 100.0).abs() < 1e-9);
-        s.update(Timestamp(140), 0.25); // dt = 0.25*40 + 0.75*100 = 85
-        assert!((s.dt.unwrap() - 85.0).abs() < 1e-9);
-        // IAT at t=200: 0.25*(200-140) + 0.75*85 = 15 + 63.75 = 78.75.
-        assert!((s.iat_at(Timestamp(200), 0.25).unwrap() - 78.75).abs() < 1e-9);
-    }
-
-    #[test]
     fn key_order_is_time_invariant_theorem1() {
         // Random-ish pairs: the sign of key_x(t) - key_y(t) must not
-        // depend on t (Theorem 1).
+        // depend on t (Theorem 1). (Eq. 8 arithmetic itself is covered by
+        // the PopTable unit tests in ds/pop_table.rs.)
+        use crate::ds::PopTable;
+        let mut pop = PopTable::new();
         let states = [
-            IatState {
-                dt: Some(50.0),
-                t_last: Timestamp(900),
-            },
-            IatState {
-                dt: Some(500.0),
-                t_last: Timestamp(990),
-            },
-            IatState {
-                dt: Some(5.0),
-                t_last: Timestamp(100),
-            },
-            IatState {
-                dt: Some(250.0),
-                t_last: Timestamp(750),
-            },
+            (50.0, Timestamp(900)),
+            (500.0, Timestamp(990)),
+            (5.0, Timestamp(100)),
+            (250.0, Timestamp(750)),
         ];
+        let handles: Vec<u32> = states
+            .iter()
+            .enumerate()
+            .map(|(i, &(dt, t_last))| {
+                pop.insert_raw(ChunkId::new(VideoId(i as u64), 0), Some(dt), t_last)
+            })
+            .collect();
         let gamma = 0.25;
-        for a in &states {
-            for b in &states {
-                let d1 =
-                    a.key_at(Timestamp(1_000), gamma, 0.0) - b.key_at(Timestamp(1_000), gamma, 0.0);
-                let d2 = a.key_at(Timestamp(50_000), gamma, 0.0)
-                    - b.key_at(Timestamp(50_000), gamma, 0.0);
+        for &a in &handles {
+            for &b in &handles {
+                let d1 = pop.key_at(a, Timestamp(1_000), gamma, 0.0)
+                    - pop.key_at(b, Timestamp(1_000), gamma, 0.0);
+                let d2 = pop.key_at(a, Timestamp(50_000), gamma, 0.0)
+                    - pop.key_at(b, Timestamp(50_000), gamma, 0.0);
                 assert!(
                     (d1 - d2).abs() < 1e-6,
                     "key difference changed over time: {d1} vs {d2}"
@@ -899,12 +875,12 @@ mod tests {
             t += 10;
         }
         assert!(
-            !c.iat.contains_key(&ChunkId::new(VideoId(77), 0)),
+            c.pop.handle_of(&ChunkId::new(VideoId(77), 0)).is_none(),
             "stale chunk state survived cleanup"
         );
         assert!(!c.video_seen.contains_key(&VideoId(77)));
         // Cached chunks' state always survives.
-        assert!(c.iat.contains_key(&ChunkId::new(VideoId(0), 0)));
+        assert!(c.pop.handle_of(&ChunkId::new(VideoId(0), 0)).is_some());
     }
 
     #[test]

@@ -2,10 +2,21 @@
 //!
 //! * [`IndexedLruList`] — xLRU's linked list + hash map (paper §5).
 //! * [`KeyedSet`] — Cafe's binary-tree set + hash map over virtual
-//!   timestamps (paper §6).
+//!   timestamps, as the paper §6 describes it literally. Kept as the
+//!   reference structure (Psychic and the baselines still use it, and the
+//!   rank-index property tests treat it as the ordering oracle).
+//! * [`RankIndex`] — the bucketed (timing-wheel-style) replacement Cafe's
+//!   hot path runs on: O(1) amortized re-keying with lazily sorted
+//!   buckets, bit-identical ordering to [`KeyedSet`].
+//! * [`PopTable`] — Cafe's struct-of-arrays EWMA popularity slabs
+//!   addressed by compact handles.
 
 pub mod keyed_set;
 pub mod lru_list;
+pub mod pop_table;
+pub mod rank_index;
 
 pub use keyed_set::{KeyedSet, OrdF64};
 pub use lru_list::IndexedLruList;
+pub use pop_table::{PopTable, NO_HANDLE};
+pub use rank_index::{RankIndex, BUCKET_WIDTH_MS, NO_AUX};

@@ -1,0 +1,128 @@
+//! Model oracle: [`RankIndex`] against [`KeyedSet`], the paper-literal
+//! structure it replaces on Cafe's hot path.
+//!
+//! The bucketed index must reproduce the `BTreeSet<(OrdF64, T)>` ascending
+//! `(key, item)` order *exactly* — including equal-key tie-breaks — or
+//! replay byte counters drift. These tests drive both structures through
+//! identical randomized operation sequences drawn from [`DetRng`] (the
+//! workspace builds offline, so no external property-test framework) and
+//! assert identical observable behavior at every step, with key
+//! distributions engineered to hit the risky spots:
+//!
+//! * exact-key ties (coarsely quantized keys; the Cafe 1 ms IAT clamp
+//!   makes `key = t − 1.0` collisions routine in real replays),
+//! * `-0.0` vs `+0.0` (both sides normalize to `+0.0`),
+//! * far-flung keys that exceed the bucket span clamp,
+//! * interleaved re-keying, removal, and eviction scans with exclusions.
+
+use vcdn_core::ds::{KeyedSet, RankIndex, NO_AUX};
+use vcdn_trace::rng::DetRng;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert or re-key (both sides treat an existing item as a re-key).
+    Insert(u16, f64),
+    Remove(u16),
+    PopSmallest,
+    /// Eviction scan: up to `n` victims, excluding items below a threshold.
+    Evict(usize, u16),
+}
+
+/// Keys quantized to multiples of 0.5 so exact ties are common; one in
+/// eight keys is shifted by a huge offset to exercise the bucket-span
+/// clamp, and zeros are sometimes negative.
+fn gen_key(rng: &mut DetRng) -> f64 {
+    let base = (rng.below(64) as f64 - 32.0) * 0.5;
+    match rng.below(8) {
+        0 => base + 1.0e9,
+        1 => base - 1.0e9,
+        2 if base == 0.0 => -0.0,
+        _ => base,
+    }
+}
+
+fn gen_op(rng: &mut DetRng) -> Op {
+    match rng.below(8) {
+        0..=3 => Op::Insert(rng.below(48) as u16, gen_key(rng)),
+        4 => Op::Remove(rng.below(48) as u16),
+        5 => Op::PopSmallest,
+        _ => Op::Evict(rng.below(6) as usize, rng.below(48) as u16),
+    }
+}
+
+#[test]
+fn rank_index_matches_keyed_set_oracle() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::new(0x4A4B_1D38 ^ case);
+        let n_ops = 1 + rng.below(500) as usize;
+        let mut idx: RankIndex<u16> = RankIndex::new();
+        let mut oracle: KeyedSet<u16> = KeyedSet::new();
+        for step in 0..n_ops {
+            match gen_op(&mut rng) {
+                Op::Insert(item, key) => {
+                    idx.insert(item, key, NO_AUX);
+                    oracle.insert(item, key);
+                }
+                Op::Remove(item) => {
+                    assert_eq!(idx.remove(&item), oracle.remove(&item), "case {case} step {step}");
+                }
+                Op::PopSmallest => {
+                    assert_eq!(idx.pop_smallest(), oracle.pop_smallest(), "case {case} step {step}");
+                }
+                Op::Evict(n, threshold) => {
+                    // The eviction-victim sequence — order included — must
+                    // be identical under the same exclusion predicate.
+                    let got = idx.smallest_excluding(n, |item| *item < threshold);
+                    let want = oracle.smallest_excluding(n, |item| *item < threshold);
+                    assert_eq!(got, want, "case {case} step {step}");
+                }
+            }
+            assert_eq!(idx.len(), oracle.len(), "case {case} step {step}");
+            assert_eq!(idx.smallest(), oracle.smallest(), "case {case} step {step}");
+        }
+        // Full ascending drain agrees, ties and all.
+        let want: Vec<(u16, f64)> = oracle.iter_ascending().collect();
+        assert_eq!(idx.entries_ascending(), want, "case {case}");
+    }
+}
+
+/// Cafe-shaped workload: keys are virtual timestamps `t − max(iat, 1.0)`
+/// with tiny inter-arrival estimates, so the 1 ms clamp binds often and
+/// many chunks collide on exactly `t − 1.0`; eviction victims (with the
+/// in-request exclusion Cafe applies) must come out in the identical
+/// order from both structures.
+#[test]
+fn cafe_shaped_eviction_sequences_are_identical() {
+    for case in 0..48u64 {
+        let mut rng = DetRng::new(0xCAFE_0B57 ^ case);
+        let mut idx: RankIndex<u16> = RankIndex::new();
+        let mut oracle: KeyedSet<u16> = KeyedSet::new();
+        let mut t = 0.0f64;
+        for step in 0..400 {
+            // Time advances like a trace; several chunks touched per tick.
+            t += rng.below(2_000) as f64;
+            for _ in 0..1 + rng.below(4) {
+                let item = rng.below(64) as u16;
+                // IATs quantized to 0.25 ms in [0, 4): the 1 ms clamp
+                // binds for ~a quarter of the touches.
+                let iat = (rng.below(16) as f64 * 0.25).max(1.0);
+                let key = t - iat;
+                idx.insert(item, key, NO_AUX);
+                oracle.insert(item, key);
+            }
+            if rng.below(3) == 0 {
+                let n = 1 + rng.below(4) as usize;
+                let requested = rng.below(64) as u16;
+                let got = idx.smallest_excluding(n, |item| *item == requested);
+                let want = oracle.smallest_excluding(n, |item| *item == requested);
+                assert_eq!(got, want, "case {case} step {step}");
+                for (victim, _) in &got {
+                    idx.remove(victim);
+                    oracle.remove(victim);
+                }
+            }
+        }
+        let want: Vec<(u16, f64)> = oracle.iter_ascending().collect();
+        assert_eq!(idx.entries_ascending(), want, "case {case}");
+    }
+}

@@ -85,6 +85,32 @@ fn replay_bytes_match_pins_for_all_policies() {
     }
 }
 
+/// The opt-in hot mirror (second `RankIndex`, maintained incrementally
+/// through every touch/fill/evict) must be decision-neutral: a Cafe
+/// replay with hot tracking on produces the exact pinned bytes of the
+/// plain replay, under either hasher. This exercises the rank index's
+/// non-disk configuration — hot-rank keys, mirror rebuilds on cleanup —
+/// against the same hasher-independence bar as the decide path.
+#[test]
+fn hot_tracking_cafe_replay_matches_pins() {
+    let trace = trace();
+    let costs = CostModel::from_alpha(ALPHA).expect("valid alpha");
+    let mut cafe = CafeCache::new(CafeConfig::new(DISK, ChunkSize::DEFAULT, costs));
+    cafe.enable_hot_tracking();
+    let r = replay(&mut cafe, &trace);
+    let (name, hit, fill, redirect) = PINS[2];
+    assert_eq!(
+        (
+            r.policy,
+            r.overall.hit_bytes,
+            r.overall.fill_bytes,
+            r.overall.redirect_bytes
+        ),
+        (name, hit, fill, redirect),
+        "hot mirror altered replay output (or it depends on the hasher)"
+    );
+}
+
 #[test]
 fn repeated_replays_are_byte_identical() {
     // Two full replays in one process: under std-hash each HashMap gets a
