@@ -7,9 +7,24 @@
 //! the sweep (default 1/2/4/8/16). Per-shard byte counters must be
 //! bit-identical across *all* thread counts — the binary asserts it run
 //! by run, so a scaling number is only ever reported for a provably
-//! deterministic configuration. Results land in `BENCH_PR6.json`
+//! deterministic configuration. Results land in `BENCH_PR8.json`
 //! (`--out`): deterministic per-shard/aggregate counters plus a
 //! machine-dependent `throughput` array per policy.
+//!
+//! After the timed (detached) reps, each thread count gets one
+//! *instrumented* pass: a fresh engine with `attach_obs`, whose report
+//! must equal the detached baseline bit-for-bit (observers change
+//! nothing — the off-means-free contract, enforced here in both
+//! directions). The instrumented pass yields per-thread queue statistics
+//! (mean batch wait/service nanoseconds, mean observed queue depth,
+//! mean dispatcher push time) recorded inside the timing-excluded
+//! `throughput` entries, plus deterministic per-policy fields: the
+//! shard-imbalance skew (`max/mean × 1000` over requests and bytes) and
+//! the merged heavy-hitter `top_videos` table from the per-shard
+//! Space-Saving sketches. `--bundle <path>` additionally writes the
+//! instrumented engines' telemetry bundles (first thread count, one per
+//! policy) as concatenated JSONL — the document CI's report-smoke job
+//! renders and diffs across worker counts.
 //!
 //! `--check <file>` re-verifies the deterministic fields against a
 //! previously written document via the shared baseline machinery —
@@ -21,19 +36,22 @@
 //! Flags: `--scale <f>` (default 1/16), `--days <n>` (default 30),
 //! `--shards <n>` (default 16), `--threads <a,b,c>` (default
 //! `1,2,4,8,16`), `--reps <n>` best-of timed runs (default 3),
-//! `--out <path>` (default `BENCH_PR6.json`), `--check <path>`.
+//! `--out <path>` (default `BENCH_PR8.json`), `--bundle <path>`,
+//! `--check <path>`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use vcdn_bench::{arg_flag, trace_for, Algo, Scale, EXPERIMENT_SEED, PAPER_DISK_BYTES};
 use vcdn_core::{
     CachePolicy, CafeCache, CafeConfig, LruCache, PsychicCache, PsychicConfig, XlruCache,
 };
-use vcdn_sim::engine::{shard_requests, EngineConfig, EngineReport, ShardedEngine};
+use vcdn_obs::{MetricsRegistry, MetricsSink};
+use vcdn_sim::engine::{engine_bundle, shard_requests, EngineConfig, EngineReport, ShardedEngine};
 use vcdn_sim::report::{eff, Table};
 use vcdn_trace::{ServerProfile, Trace};
 use vcdn_types::json::Json;
-use vcdn_types::{ChunkSize, CostModel, Request};
+use vcdn_types::{ChunkId, ChunkSize, CostModel, Request};
 
 /// Machine-dependent fields, excluded from golden comparison. `threads`
 /// is the sweep shape and `cores` the host's parallelism — not
@@ -42,16 +60,33 @@ use vcdn_types::{ChunkSize, CostModel, Request};
 /// bucket.
 const TIMING: [&str; 3] = ["threads", "throughput", "cores"];
 
-/// One (thread count → best wall seconds) measurement.
+/// One (thread count → best wall seconds) measurement plus the queue
+/// statistics of that thread count's instrumented pass (all wall-clock,
+/// reported only inside timing-excluded fields).
 struct Throughput {
     threads: usize,
     best_secs: f64,
+    queue_wait_ns_mean: f64,
+    queue_service_ns_mean: f64,
+    queue_depth_mean: f64,
+    dispatch_push_ns_mean: f64,
 }
 
-/// One policy's sweep: the deterministic report plus per-thread timing.
+/// One merged heavy-hitter row (video, Space-Saving count and error).
+struct TopVideo {
+    video: u64,
+    count: u64,
+    err: u64,
+}
+
+/// One policy's sweep: the deterministic report plus per-thread timing,
+/// the merged heavy-hitter table and the first instrumented pass's
+/// telemetry bundle.
 struct PolicyRun {
     report: EngineReport,
     sweep: Vec<Throughput>,
+    top_videos: Vec<TopVideo>,
+    bundle_jsonl: String,
 }
 
 fn engine_for(
@@ -107,6 +142,8 @@ fn sweep_policy(
     let requests = trace.len() as f64;
     let mut baseline: Option<EngineReport> = None;
     let mut sweep = Vec::new();
+    let mut top_videos = Vec::new();
+    let mut bundle_jsonl = String::new();
     for &t in threads {
         let mut best_secs = f64::INFINITY;
         for _ in 0..reps {
@@ -129,6 +166,43 @@ fn sweep_policy(
                 baseline = Some(report);
             }
         }
+        // One instrumented pass per thread count: same trace through a
+        // fresh observed engine. Its report must equal the detached
+        // baseline (off means free, observed means unchanged), and its
+        // registry yields the queue statistics for this thread count.
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink: Arc<dyn MetricsSink> = registry.clone();
+        let mut engine = engine_for(algo, per_shard, shards, disk, k, costs);
+        engine.attach_obs(&sink, algo.name());
+        let observed = engine.run(trace, t);
+        assert_eq!(
+            baseline.as_ref().expect("baseline set"),
+            &observed,
+            "{}: instrumentation changed the accounting at {t} thread(s)",
+            algo.name()
+        );
+        let snap = registry.snapshot(false);
+        let hist_mean = |suffix: &str| {
+            let (mut count, mut sum) = (0u64, 0u64);
+            for m in &snap {
+                if m.name.ends_with(suffix) {
+                    if let Some(h) = &m.histogram {
+                        count += h.count;
+                        sum += h.sum;
+                    }
+                }
+            }
+            if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            }
+        };
+        if sweep.is_empty() {
+            // First thread count: keep the sketch table and the bundle.
+            top_videos = merge_top_videos(&observed);
+            bundle_jsonl = engine_bundle(&observed, &registry).to_jsonl();
+        }
         eprintln!(
             "[contention] {:<8} {:>2} thread(s)  {:>12.0} req/s",
             algo.name(),
@@ -138,12 +212,39 @@ fn sweep_policy(
         sweep.push(Throughput {
             threads: t,
             best_secs,
+            queue_wait_ns_mean: hist_mean(".span.batch_wait_ns"),
+            queue_service_ns_mean: hist_mean(".span.batch_service_ns"),
+            queue_depth_mean: hist_mean(".span.queue_depth_batches"),
+            dispatch_push_ns_mean: hist_mean(".engine.span.dispatch_push_ns"),
         });
     }
     PolicyRun {
         report: baseline.expect("at least one thread count"),
         sweep,
+        top_videos,
+        bundle_jsonl,
     }
+}
+
+/// Merges the per-shard sketches into one table: shards partition videos,
+/// so entries never collide — concatenate, re-sort by `(count desc,
+/// video asc)` and keep the strongest 8. Deterministic: a pure function
+/// of the per-shard exports.
+fn merge_top_videos(report: &EngineReport) -> Vec<TopVideo> {
+    let mut all: Vec<TopVideo> = report
+        .shards
+        .iter()
+        .flat_map(|s| {
+            s.top_videos.iter().map(|e| TopVideo {
+                video: e.key >> ChunkId::INDEX_BITS,
+                count: e.count,
+                err: e.err,
+            })
+        })
+        .collect();
+    all.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+    all.truncate(8);
+    all
 }
 
 /// The run parameters recorded in the document header.
@@ -193,6 +294,62 @@ fn json_of(shape: &RunShape<'_>, rows: &[PolicyRun]) -> Json {
                             Json::Float(requests as f64 / t.best_secs),
                         ),
                         ("speedup_vs_first".into(), Json::Float(base / t.best_secs)),
+                        (
+                            "queue_wait_ns_mean".into(),
+                            Json::Float(t.queue_wait_ns_mean),
+                        ),
+                        (
+                            "queue_service_ns_mean".into(),
+                            Json::Float(t.queue_service_ns_mean),
+                        ),
+                        ("queue_depth_mean".into(), Json::Float(t.queue_depth_mean)),
+                        (
+                            "dispatch_push_ns_mean".into(),
+                            Json::Float(t.dispatch_push_ns_mean),
+                        ),
+                    ])
+                })
+                .collect();
+            // Shard imbalance, max/mean ×1000 — a pure function of the
+            // per-shard counters, so golden-compared like the byte
+            // totals it derives from.
+            let skew = |max: u64, total: u64| {
+                if total == 0 {
+                    0
+                } else {
+                    (max as u128 * 1000 * p.report.shards.len() as u128 / total as u128) as i128
+                }
+            };
+            let req_skew = skew(
+                p.report
+                    .shards
+                    .iter()
+                    .map(|s| s.requests)
+                    .max()
+                    .unwrap_or(0),
+                p.report.shards.iter().map(|s| s.requests).sum(),
+            );
+            let byte_skew = skew(
+                p.report
+                    .shards
+                    .iter()
+                    .map(|s| s.overall.requested_bytes())
+                    .max()
+                    .unwrap_or(0),
+                p.report
+                    .shards
+                    .iter()
+                    .map(|s| s.overall.requested_bytes())
+                    .sum(),
+            );
+            let top_videos = p
+                .top_videos
+                .iter()
+                .map(|t| {
+                    Json::Obj(vec![
+                        ("video".into(), Json::Int(t.video as i128)),
+                        ("count".into(), Json::Int(t.count as i128)),
+                        ("err".into(), Json::Int(t.err as i128)),
                     ])
                 })
                 .collect();
@@ -242,6 +399,9 @@ fn json_of(shape: &RunShape<'_>, rows: &[PolicyRun]) -> Json {
                     shard_arr(|s| s.overall.fill_bytes),
                 ),
                 ("shard_used_chunks".into(), shard_arr(|s| s.used_chunks)),
+                ("shard_skew_requests_x1000".into(), Json::Int(req_skew)),
+                ("shard_skew_bytes_x1000".into(), Json::Int(byte_skew)),
+                ("top_videos".into(), Json::Arr(top_videos)),
                 ("throughput".into(), Json::Arr(throughput)),
             ])
         })
@@ -287,7 +447,8 @@ fn main() {
     let days: u64 = arg_flag("days").unwrap_or(30);
     let shards: usize = arg_flag("shards").unwrap_or(16);
     let reps: u32 = arg_flag("reps").unwrap_or(3).max(1);
-    let out: String = arg_flag("out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let out: String = arg_flag("out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let bundle_out: Option<String> = arg_flag("bundle");
     let check: Option<String> = arg_flag("check");
     let threads = parse_threads();
 
@@ -376,4 +537,9 @@ fn main() {
     }
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
     eprintln!("[contention] wrote {out}");
+    if let Some(path) = bundle_out {
+        let doc: String = rows.iter().map(|p| p.bundle_jsonl.as_str()).collect();
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[contention] wrote {path} (engine telemetry bundles)");
+    }
 }

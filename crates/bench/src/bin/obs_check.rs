@@ -1,13 +1,24 @@
 //! Telemetry JSONL validator: structural and semantic checks over a
-//! `replay_observe` export, used by the CI observe-smoke job.
+//! `vcdn-telemetry/1` export, used by the CI observe-smoke and
+//! report-smoke jobs.
 //!
 //! For every bundle (delimited by `"type":"meta"` lines) it verifies:
 //! the schema tag, that the meta line's section counts match the actual
 //! line counts, that every line is one of the known record types, that
-//! the sample grid is evenly spaced with exact cumulative counters whose
-//! final Eq. 2 efficiency recomputes from its own byte counters, that
-//! event sequence numbers are strictly increasing with consistent
-//! verdicts, and that histogram metric lines conserve their samples.
+//! top-K lines are count-bounded and sorted (sequential 1-based ranks per
+//! shard, counts non-increasing with video-ascending ties, `err < count`,
+//! at most `topk_k` entries per shard), that the sample grid is evenly
+//! spaced with exact cumulative counters whose final Eq. 2 efficiency
+//! recomputes from its own byte counters, that event sequence numbers are
+//! strictly increasing with consistent verdicts, and that histogram
+//! metric lines conserve their samples.
+//!
+//! Engine bundles (`"source":"engine"`) additionally get the span checks:
+//! the dispatch counter equals the meta `dispatched` count and the sum of
+//! per-shard `processed_total` counters (conservation — every dispatched
+//! request decided exactly once), and every shard stream carries its
+//! queue-gap histogram and load-share gauge. Engine bundles have no
+//! sampler, so the sample-grid requirement is waived for them.
 //!
 //! Flags: `--in <path>` (default `results/telemetry.jsonl`). Exits
 //! non-zero with one line per violation if any check fails.
@@ -15,50 +26,24 @@
 use std::process::ExitCode;
 
 use vcdn_bench::arg_flag;
+use vcdn_bench::telemetry::{as_f64, as_u64, parse_bundles, BundleDoc};
 use vcdn_obs::SCHEMA;
 use vcdn_types::float::exactly_zero;
-use vcdn_types::json::{self, Json};
+use vcdn_types::json::Json;
 use vcdn_types::CostModel;
 
-/// A bundle's parsed lines, split by section.
-#[derive(Default)]
-struct Bundle {
-    meta: Option<Json>,
-    metrics: Vec<Json>,
-    samples: Vec<Json>,
-    events: Vec<Json>,
-}
-
-fn as_u64(j: Option<&Json>) -> Option<u64> {
-    match j {
-        Some(Json::Int(i)) => u64::try_from(*i).ok(),
-        _ => None,
-    }
-}
-
-fn as_f64(j: Option<&Json>) -> Option<f64> {
-    match j {
-        Some(Json::Float(x)) => Some(*x),
-        Some(Json::Int(i)) => Some(*i as f64),
-        _ => None,
-    }
-}
-
-fn check_bundle(idx: usize, b: &Bundle, errs: &mut Vec<String>) {
-    let mut err = |msg: String| errs.push(format!("bundle {idx}: {msg}"));
-    let Some(meta) = &b.meta else {
-        err("missing meta line".into());
-        return;
-    };
-    if meta.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+fn check_bundle(idx: usize, b: &BundleDoc, errs: &mut Vec<String>) {
+    let mut err = |msg: String| errs.push(format!("bundle {idx} ({}): {msg}", b.label()));
+    if b.meta_str("schema") != Some(SCHEMA) {
         err(format!("schema is not {SCHEMA:?}"));
     }
     for (key, actual) in [
         ("metrics", b.metrics.len()),
+        ("topk", b.topk.len()),
         ("samples", b.samples.len()),
         ("events", b.events.len()),
     ] {
-        match as_u64(meta.get(key)) {
+        match b.meta_u64(key) {
             Some(n) if n as usize == actual => {}
             other => err(format!("meta.{key} = {other:?}, counted {actual}")),
         }
@@ -66,7 +51,8 @@ fn check_bundle(idx: usize, b: &Bundle, errs: &mut Vec<String>) {
     if b.metrics.is_empty() {
         err("no metric lines".into());
     }
-    if b.samples.is_empty() {
+    let is_engine = b.meta_str("source") == Some("engine");
+    if b.samples.is_empty() && !is_engine {
         err("no sample lines — sampler was never fed".into());
     }
 
@@ -91,9 +77,143 @@ fn check_bundle(idx: usize, b: &Bundle, errs: &mut Vec<String>) {
         }
     }
 
+    // Top-K lines: shard-major, ranks sequential from 1, counts sorted
+    // non-increasing with video-ascending ties, err < count, per-shard
+    // entry count bounded by the sketch capacity, and no sketch count
+    // exceeding the bundle's total request count.
+    let topk_k = b.meta_u64("topk_k");
+    let total = b
+        .meta_u64("dispatched")
+        .or_else(|| b.meta_u64("requests"))
+        .unwrap_or(u64::MAX);
+    if !b.topk.is_empty() && topk_k.is_none() {
+        err("topk lines present but meta.topk_k missing".into());
+    }
+    let mut prev: Option<(u64, u64, u64, u64)> = None; // shard, rank, count, video
+    let mut per_shard = 0u64;
+    for t in &b.topk {
+        let shard = as_u64(t.get("shard")).unwrap_or(u64::MAX);
+        let rank = as_u64(t.get("rank")).unwrap_or(0);
+        let video = as_u64(t.get("video")).unwrap_or(u64::MAX);
+        let count = as_u64(t.get("count")).unwrap_or(0);
+        let errv = as_u64(t.get("err")).unwrap_or(u64::MAX);
+        if errv >= count {
+            err(format!("topk s{shard}#{rank}: err {errv} >= count {count}"));
+        }
+        if count > total {
+            err(format!(
+                "topk s{shard}#{rank}: count {count} exceeds total requests {total}"
+            ));
+        }
+        per_shard = match prev {
+            Some((ps, ..)) if ps == shard => per_shard + 1,
+            _ => 1,
+        };
+        if let Some(k) = topk_k {
+            if per_shard > k {
+                err(format!("topk s{shard}: more than topk_k={k} entries"));
+            }
+        }
+        match prev {
+            None => {
+                if rank != 1 {
+                    err(format!("topk s{shard}: first rank is {rank}, not 1"));
+                }
+            }
+            Some((ps, pr, pc, pv)) => {
+                if shard == ps {
+                    if rank != pr + 1 {
+                        err(format!("topk s{shard}: rank {rank} after {pr}"));
+                    }
+                    if count > pc || (count == pc && video <= pv) {
+                        err(format!(
+                            "topk s{shard}#{rank}: order violates (count desc, video asc)"
+                        ));
+                    }
+                } else {
+                    if shard < ps {
+                        err(format!("topk: shard {shard} after shard {ps}"));
+                    }
+                    if rank != 1 {
+                        err(format!("topk s{shard}: first rank is {rank}, not 1"));
+                    }
+                }
+            }
+        }
+        prev = Some((shard, rank, count, video));
+    }
+
+    // Engine bundles: span conservation and per-stream queue metrics.
+    if is_engine {
+        let scope = |suffix: &str| {
+            b.metrics
+                .iter()
+                .filter(|m| {
+                    m.get("name")
+                        .and_then(Json::as_str)
+                        .is_some_and(|n| n.ends_with(suffix))
+                })
+                .count()
+        };
+        let shards = b.meta_u64("shards").unwrap_or(0) as usize;
+        let dispatched_meta = b.meta_u64("dispatched");
+        let dispatched = b
+            .metrics
+            .iter()
+            .find(|m| {
+                m.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.ends_with(".engine.span.dispatched_total"))
+            })
+            .and_then(|m| as_u64(m.get("value")))
+            .unwrap_or(u64::MAX);
+        if Some(dispatched) != dispatched_meta {
+            err(format!(
+                "span.dispatched_total {dispatched} != meta.dispatched {dispatched_meta:?}"
+            ));
+        }
+        let processed: u64 = b
+            .metrics
+            .iter()
+            .filter(|m| {
+                m.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.ends_with(".span.processed_total"))
+            })
+            .filter_map(|m| as_u64(m.get("value")))
+            .sum();
+        if processed != dispatched {
+            err(format!(
+                "span conservation broken: dispatched {dispatched} != sum processed {processed}"
+            ));
+        }
+        for (suffix, what) in [
+            (".span.queue_gap", "queue-gap histogram"),
+            (".span.load_share_x1000", "load-share gauge"),
+            (".span.processed_total", "processed counter"),
+        ] {
+            let n = scope(suffix);
+            if n != shards {
+                err(format!("{n} {what}s for {shards} shard streams"));
+            }
+        }
+        // The skew gauges live under the engine scope; look them up by
+        // suffix since the scope prefix is caller-chosen.
+        for gauge in ["skew_requests_x1000", "skew_bytes_x1000"] {
+            let suffix = format!(".engine.span.{gauge}");
+            if !b.metrics.iter().any(|m| {
+                m.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.ends_with(&suffix))
+            }) {
+                err(format!("engine bundle missing {gauge} gauge"));
+            }
+        }
+    }
+
     // Sample grid: evenly spaced, cumulative counters monotone, final
     // cumulative efficiency recomputes from its own byte counters (Eq. 2).
-    let interval = as_u64(meta.get("interval_ms")).unwrap_or(0);
+    let interval = b.meta_u64("interval_ms").unwrap_or(0);
     let mut prev_cum = 0u64;
     for (i, s) in b.samples.iter().enumerate() {
         if as_u64(s.get("t_ms")) != Some(i as u64 * interval) {
@@ -109,7 +229,7 @@ fn check_bundle(idx: usize, b: &Bundle, errs: &mut Vec<String>) {
         }
         prev_cum = cum;
     }
-    if let (Some(last), Some(alpha)) = (b.samples.last(), as_f64(meta.get("alpha"))) {
+    if let (Some(last), Some(alpha)) = (b.samples.last(), as_f64(b.meta.get("alpha"))) {
         let costs = CostModel::from_alpha(alpha).expect("valid alpha in meta");
         let fill = as_u64(last.get("cum_fill_bytes")).unwrap_or(0) as f64;
         let red = as_u64(last.get("cum_redirect_bytes")).unwrap_or(0) as f64;
@@ -163,36 +283,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut bundles: Vec<Bundle> = Vec::new();
     let mut errs: Vec<String> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let j = match json::parse(line) {
-            Ok(j) => j,
-            Err(e) => {
-                errs.push(format!("line {}: unparseable: {e}", lineno + 1));
-                continue;
-            }
-        };
-        match j.get("type").and_then(Json::as_str) {
-            Some("meta") => bundles.push(Bundle {
-                meta: Some(j),
-                ..Bundle::default()
-            }),
-            Some(kind) => {
-                let Some(b) = bundles.last_mut() else {
-                    errs.push(format!("line {}: {kind} before any meta line", lineno + 1));
-                    continue;
-                };
-                match kind {
-                    "metric" => b.metrics.push(j),
-                    "sample" => b.samples.push(j),
-                    "event" => b.events.push(j),
-                    _ => errs.push(format!("line {}: unknown type {kind:?}", lineno + 1)),
-                }
-            }
-            None => errs.push(format!("line {}: missing type field", lineno + 1)),
-        }
-    }
+    let bundles = parse_bundles(&text, &mut errs);
     if bundles.is_empty() {
         errs.push("no telemetry bundles found".into());
     }

@@ -1,0 +1,152 @@
+//! Shared parsing of `vcdn-telemetry/1` JSONL documents for the bench
+//! binaries (`obs_check`, `obs_report`).
+//!
+//! A telemetry file is one or more bundles; each bundle starts with a
+//! `"type":"meta"` line and is followed by its `metric`, `topk`, `sample`
+//! and `event` lines in that order. [`parse_bundles`] splits a document
+//! into [`BundleDoc`]s without validating semantics — the binaries layer
+//! their own checks on top.
+
+use vcdn_types::json::{self, Json};
+
+/// One parsed bundle: the meta object plus its section lines, in file
+/// order.
+#[derive(Debug)]
+pub struct BundleDoc {
+    /// The bundle's `"type":"meta"` line.
+    pub meta: Json,
+    /// `"type":"metric"` lines in registration order.
+    pub metrics: Vec<Json>,
+    /// `"type":"topk"` lines, shard-major then rank order.
+    pub topk: Vec<Json>,
+    /// `"type":"sample"` lines in time order.
+    pub samples: Vec<Json>,
+    /// `"type":"event"` lines in replay order.
+    pub events: Vec<Json>,
+}
+
+impl BundleDoc {
+    /// A short label identifying the bundle in messages: its `cell`,
+    /// `source` or `policy` meta entry, whichever exists first.
+    pub fn label(&self) -> &str {
+        for key in ["cell", "source", "policy"] {
+            if let Some(s) = self.meta.get(key).and_then(Json::as_str) {
+                return s;
+            }
+        }
+        "?"
+    }
+
+    /// The meta entry `key` as a `u64`, if present and integral.
+    pub fn meta_u64(&self, key: &str) -> Option<u64> {
+        as_u64(self.meta.get(key))
+    }
+
+    /// The meta entry `key` as a string, if present.
+    pub fn meta_str(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).and_then(Json::as_str)
+    }
+}
+
+/// An integral JSON value as `u64`.
+pub fn as_u64(j: Option<&Json>) -> Option<u64> {
+    match j {
+        Some(Json::Int(i)) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// A numeric JSON value as `f64` (integers widen).
+pub fn as_f64(j: Option<&Json>) -> Option<f64> {
+    match j {
+        Some(Json::Float(x)) => Some(*x),
+        Some(Json::Int(i)) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Splits a telemetry JSONL document into bundles. Structural errors
+/// (unparseable lines, lines before any meta, unknown types) are pushed
+/// onto `errs` with 1-based line numbers; parsing continues past them so
+/// a single bad line reports once without masking the rest.
+pub fn parse_bundles(text: &str, errs: &mut Vec<String>) -> Vec<BundleDoc> {
+    let mut bundles: Vec<BundleDoc> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let j = match json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                errs.push(format!("line {}: unparseable: {e}", lineno + 1));
+                continue;
+            }
+        };
+        match j.get("type").and_then(Json::as_str) {
+            Some("meta") => bundles.push(BundleDoc {
+                meta: j,
+                metrics: Vec::new(),
+                topk: Vec::new(),
+                samples: Vec::new(),
+                events: Vec::new(),
+            }),
+            Some(kind) => {
+                let Some(b) = bundles.last_mut() else {
+                    errs.push(format!("line {}: {kind} before any meta line", lineno + 1));
+                    continue;
+                };
+                match kind {
+                    "metric" => b.metrics.push(j),
+                    "topk" => b.topk.push(j),
+                    "sample" => b.samples.push(j),
+                    "event" => b.events.push(j),
+                    _ => errs.push(format!("line {}: unknown type {kind:?}", lineno + 1)),
+                }
+            }
+            None => errs.push(format!("line {}: missing type field", lineno + 1)),
+        }
+    }
+    bundles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+{\"type\":\"meta\",\"schema\":\"vcdn-telemetry/1\",\"policy\":\"demo\",\"metrics\":1,\"topk\":1,\"samples\":0,\"events\":0,\"events_dropped\":0}\n\
+{\"type\":\"metric\",\"name\":\"demo.x\",\"kind\":\"counter\",\"value\":4}\n\
+{\"type\":\"topk\",\"shard\":0,\"rank\":1,\"video\":7,\"count\":3,\"err\":0}\n";
+
+    #[test]
+    fn splits_sections_and_labels() {
+        let mut errs = Vec::new();
+        let bundles = parse_bundles(DOC, &mut errs);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(bundles.len(), 1);
+        let b = &bundles[0];
+        assert_eq!(b.label(), "demo");
+        assert_eq!(b.metrics.len(), 1);
+        assert_eq!(b.topk.len(), 1);
+        assert_eq!(b.meta_u64("topk"), Some(1));
+        assert_eq!(b.meta_str("schema"), Some("vcdn-telemetry/1"));
+    }
+
+    #[test]
+    fn reports_structural_errors_without_stopping() {
+        let bad = "not json\n{\"type\":\"metric\"}\n";
+        let mut errs = Vec::new();
+        let bundles = parse_bundles(bad, &mut errs);
+        assert!(bundles.is_empty());
+        assert_eq!(errs.len(), 2);
+        assert!(errs[0].contains("line 1"));
+        assert!(errs[1].contains("before any meta"));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(as_u64(Some(&Json::Int(5))), Some(5));
+        assert_eq!(as_u64(Some(&Json::Int(-1))), None);
+        assert_eq!(as_u64(Some(&Json::Float(5.0))), None);
+        assert_eq!(as_f64(Some(&Json::Int(5))), Some(5.0));
+        assert_eq!(as_f64(Some(&Json::Float(0.5))), Some(0.5));
+        assert_eq!(as_f64(Some(&Json::Str("x".into()))), None);
+    }
+}

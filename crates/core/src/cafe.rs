@@ -22,8 +22,8 @@
 
 use vcdn_obs::{DecisionDetail, PolicyObs};
 use vcdn_types::{
-    ChunkId, ChunkSize, CostModel, Decision, DurationMs, FastMap, Request, ServeOutcome,
-    Timestamp, VideoId,
+    ChunkId, ChunkSize, CostModel, Decision, DurationMs, FastMap, Request, ServeOutcome, Timestamp,
+    VideoId,
 };
 
 use crate::{

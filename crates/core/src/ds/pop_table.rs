@@ -187,7 +187,9 @@ impl PopTable {
         if d < 0.0 {
             return None;
         }
-        Some((gamma * (now - self.t_last[i]).as_millis() as f64 + (1.0 - gamma) * d).max(MIN_IAT_MS))
+        Some(
+            (gamma * (now - self.t_last[i]).as_millis() as f64 + (1.0 - gamma) * d).max(MIN_IAT_MS),
+        )
     }
 
     // lint: hot
@@ -223,7 +225,10 @@ impl PopTable {
     /// Inserts a record with explicit raw state (snapshot restore),
     /// replacing any existing record for `id`. Returns the handle.
     pub fn insert_raw(&mut self, id: ChunkId, dt: Option<f64>, t_last: Timestamp) -> u32 {
-        debug_assert!(t_last != FREE_STAMP, "t_last collides with the free-slot sentinel");
+        debug_assert!(
+            t_last != FREE_STAMP,
+            "t_last collides with the free-slot sentinel"
+        );
         let d = dt.unwrap_or(NO_INTERVAL);
         if let Some(rec) = self.map.get(&id) {
             let i = rec.h as usize;

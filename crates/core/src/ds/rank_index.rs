@@ -186,8 +186,12 @@ impl<T: Eq + Hash + Ord + Copy> RankIndex<T> {
         // the new entry is the bucket's new minimum.
         if !bucket.items.is_empty() && bucket.sorted {
             let last = bucket.items[bucket.items.len() - 1] as usize;
-            if order(e_key, &slab[idx as usize].item, slab[last].key, &slab[last].item)
-                != std::cmp::Ordering::Less
+            if order(
+                e_key,
+                &slab[idx as usize].item,
+                slab[last].key,
+                &slab[last].item,
+            ) != std::cmp::Ordering::Less
             {
                 bucket.sorted = false;
             }

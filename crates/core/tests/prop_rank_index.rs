@@ -64,10 +64,18 @@ fn rank_index_matches_keyed_set_oracle() {
                     oracle.insert(item, key);
                 }
                 Op::Remove(item) => {
-                    assert_eq!(idx.remove(&item), oracle.remove(&item), "case {case} step {step}");
+                    assert_eq!(
+                        idx.remove(&item),
+                        oracle.remove(&item),
+                        "case {case} step {step}"
+                    );
                 }
                 Op::PopSmallest => {
-                    assert_eq!(idx.pop_smallest(), oracle.pop_smallest(), "case {case} step {step}");
+                    assert_eq!(
+                        idx.pop_smallest(),
+                        oracle.pop_smallest(),
+                        "case {case} step {step}"
+                    );
                 }
                 Op::Evict(n, threshold) => {
                     // The eviction-victim sequence — order included — must

@@ -1,19 +1,20 @@
 //! The telemetry bundle: one replay's observability output as JSONL.
 //!
 //! A bundle collects everything a replay observed — run metadata, the
-//! metric snapshots, the time series and the retained decision events —
-//! and serialises it as one JSON object per line. Line order is fixed
-//! (meta, metrics in registration order, samples in time order, events in
-//! replay order), and by default only deterministic metrics are included,
-//! so two identical replays produce byte-identical bundles regardless of
-//! worker count or machine. See `OBSERVABILITY.md` for the line-by-line
-//! schema.
+//! metric snapshots, the heavy-hitter top-K records, the time series and
+//! the retained decision events — and serialises it as one JSON object
+//! per line. Line order is fixed (meta, metrics in registration order,
+//! topk by shard then rank, samples in time order, events in replay
+//! order), and by default only deterministic metrics are included, so two
+//! identical replays produce byte-identical bundles regardless of worker
+//! count or machine. See `OBSERVABILITY.md` for the line-by-line schema.
 
 use vcdn_types::json::{Json, ToJson};
 
 use crate::event::DecisionEvent;
 use crate::registry::MetricSnapshot;
 use crate::sampler::SeriesSample;
+use crate::topk::TopKRecord;
 
 /// Schema tag written into every bundle's meta line.
 pub const SCHEMA: &str = "vcdn-telemetry/1";
@@ -46,6 +47,8 @@ pub struct TelemetryBundle {
     pub meta: Vec<(String, Json)>,
     /// Metric snapshots in registration order.
     pub metrics: Vec<MetricSnapshot>,
+    /// Heavy-hitter records, ordered by shard then rank.
+    pub topk: Vec<TopKRecord>,
     /// Time series in time order.
     pub series: Vec<SeriesSample>,
     /// Retained decision events in replay order.
@@ -74,6 +77,7 @@ impl TelemetryBundle {
         ];
         fields.extend(self.meta.iter().cloned());
         fields.push(("metrics".into(), Json::Int(self.metrics.len() as i128)));
+        fields.push(("topk".into(), Json::Int(self.topk.len() as i128)));
         fields.push(("samples".into(), Json::Int(self.series.len() as i128)));
         fields.push(("events".into(), Json::Int(self.events.len() as i128)));
         fields.push((
@@ -84,13 +88,17 @@ impl TelemetryBundle {
     }
 
     /// Serialises the bundle: one JSON object per line, trailing newline,
-    /// fixed order (meta, metrics, samples, events).
+    /// fixed order (meta, metrics, topk, samples, events).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         out.push_str(&self.meta_json().to_string());
         out.push('\n');
         for metric in &self.metrics {
             out.push_str(&metric.to_json().to_string());
+            out.push('\n');
+        }
+        for record in &self.topk {
+            out.push_str(&record.to_json().to_string());
             out.push('\n');
         }
         for sample in &self.series {
@@ -123,6 +131,13 @@ mod tests {
         let mut bundle = TelemetryBundle::new();
         bundle.meta_entry("policy", Json::Str("demo".into()));
         bundle.metrics = reg.snapshot(true);
+        bundle.topk.push(TopKRecord {
+            shard: 0,
+            rank: 1,
+            video: 12,
+            count: 6,
+            err: 2,
+        });
         bundle.events.push(DecisionEvent {
             seq: 0,
             t_ms: 10,
@@ -146,7 +161,7 @@ mod tests {
     fn every_line_parses_and_order_is_fixed() {
         let jsonl = tiny_bundle().to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         let types: Vec<String> = lines
             .iter()
             .map(|l| {
@@ -158,7 +173,7 @@ mod tests {
                     .to_string()
             })
             .collect();
-        assert_eq!(types, vec!["meta", "metric", "metric", "event"]);
+        assert_eq!(types, vec!["meta", "metric", "metric", "topk", "event"]);
     }
 
     #[test]
@@ -168,6 +183,7 @@ mod tests {
         assert_eq!(meta.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(meta.get("policy").and_then(Json::as_str), Some("demo"));
         assert_eq!(meta.get("metrics"), Some(&Json::Int(2)));
+        assert_eq!(meta.get("topk"), Some(&Json::Int(1)));
         assert_eq!(meta.get("events"), Some(&Json::Int(1)));
         assert_eq!(meta.get("events_dropped"), Some(&Json::Int(0)));
     }

@@ -14,8 +14,15 @@
 //! * **Time series** — a [`ReplaySampler`] snapshotting Eq. 2 efficiency,
 //!   fill/redirect byte rates, occupancy and cache age per fixed interval
 //!   of trace time.
+//! * **Spans** — deterministic stage accounting for the sharded engine's
+//!   dispatch → queue → shard-decide → evict pipeline, driven by a
+//!   logical dispatch clock ([`span`]); wall-clock stage timings stay
+//!   `TimingHistogram`s and never export.
+//! * **Heavy hitters** — a per-shard Space-Saving top-K sketch
+//!   ([`topk::SpaceSaving`]) surfacing the hottest videos with certified
+//!   error bounds, deterministically tie-broken.
 //!
-//! A [`TelemetryBundle`] gathers all three into a deterministic JSONL
+//! A [`TelemetryBundle`] gathers all of it into a deterministic JSONL
 //! document (see `OBSERVABILITY.md` for the schema). Everything here
 //! depends only on `vcdn-types`; the replay wiring lives in `vcdn-sim`.
 
@@ -27,6 +34,8 @@ pub mod histogram;
 mod policy_obs;
 mod registry;
 mod sampler;
+pub mod span;
+pub mod topk;
 
 pub use bundle::{TelemetryBundle, SCHEMA};
 pub use event::{DecisionDetail, DecisionEvent, EventRing, Verdict};
@@ -34,3 +43,5 @@ pub use histogram::HistogramSnapshot;
 pub use policy_obs::PolicyObs;
 pub use registry::{MetricId, MetricKind, MetricSnapshot, MetricsRegistry, MetricsSink, NoopSink};
 pub use sampler::{ReplaySampler, SeriesSample};
+pub use span::{DispatchSpans, ShardSpans, SpanStage, WorkerTimings};
+pub use topk::{SpaceSaving, TopKEntry, TopKRecord};

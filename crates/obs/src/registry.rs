@@ -191,8 +191,11 @@ pub struct MetricsRegistry {
     len: AtomicUsize,
 }
 
-/// Default capacity: far above what one replay registers (a few dozen).
-const DEFAULT_CAPACITY: usize = 256;
+/// Default capacity: far above what one replay (a few dozen metrics) or
+/// one fully instrumented engine registers — a 16-shard engine with span
+/// accounting, per-shard sketches and per-worker timings uses ~270 slots.
+/// A slot is ~0.5 KiB, so the default table stays around half a MiB.
+const DEFAULT_CAPACITY: usize = 1024;
 
 /// A metric's exported state: deterministic integers only.
 #[derive(Debug, Clone, PartialEq, Eq)]

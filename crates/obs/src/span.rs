@@ -1,0 +1,329 @@
+//! Deterministic span/stage accounting for the request lifecycle:
+//! dispatch → queue → shard-decide → evict.
+//!
+//! The sharded engine is a pipeline: a dispatcher routes each request to
+//! its shard's owning worker queue, the worker decides it on the shard,
+//! and some decisions evict. Wall-clock timings of those stages are
+//! machine- and schedule-dependent, so they can never appear in exported
+//! bundles (the repo-wide rule: non-deterministic values are
+//! [`MetricKind::TimingHistogram`], which snapshots exclude). This module
+//! splits the accounting into the two planes explicitly:
+//!
+//! * **Logical plane** ([`DispatchSpans`], [`ShardSpans`]) — everything
+//!   is derived from a *logical dispatch clock*: one tick per dispatched
+//!   request, assigned by the single-threaded dispatcher in trace order,
+//!   so every exported value is a pure function of the input stream and
+//!   identical for any worker count.
+//!   - `{scope}.engine.span.dispatched_total` — requests entering the
+//!     dispatch stage.
+//!   - `{scope}.s{i:02}.span.queue_gap` — per-stream histogram of the
+//!     logical gap (in global dispatch ticks) between consecutive
+//!     arrivals at stream `i`: a deterministic proxy for how bursty a
+//!     shard's queue feed is.
+//!   - `{scope}.s{i:02}.span.load_share_x1000` — the stream's running
+//!     share of all dispatched requests, ×1000.
+//!   - `{scope}.s{i:02}.span.processed_total` — requests that completed
+//!     the shard-decide stage on shard `i`.
+//!   - `{scope}.s{i:02}.span.evict_events_total` — decisions that
+//!     reached the evict stage (evicted ≥ 1 chunk).
+//!
+//!   Conservation: at quiescence, `dispatched_total` equals the sum of
+//!   per-shard `processed_total` — every dispatched request is decided
+//!   exactly once (`obs_check` verifies this on engine bundles).
+//!
+//! * **Wall-clock plane** ([`WorkerTimings`]) — per-worker batch wait
+//!   and service times and observed queue depths, all registered as
+//!   [`MetricKind::TimingHistogram`] so they are visible to live
+//!   snapshots (`snapshot(false)`) and the contention bench's
+//!   timing-excluded JSON fields, but never to bundles.
+
+use std::sync::Arc;
+
+use crate::registry::{MetricId, MetricKind, MetricsSink};
+
+/// The pipeline stages a request is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStage {
+    /// Routed by the dispatcher.
+    Dispatch,
+    /// Waiting in (or logically traversing) a worker queue.
+    Queue,
+    /// Decided on its owning shard.
+    Decide,
+    /// The decision evicted at least one chunk.
+    Evict,
+}
+
+impl SpanStage {
+    /// Short lowercase stage name used in metric names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStage::Dispatch => "dispatch",
+            SpanStage::Queue => "queue",
+            SpanStage::Decide => "decide",
+            SpanStage::Evict => "evict",
+        }
+    }
+}
+
+/// Per-stream state of the dispatcher's logical accounting.
+struct StreamSpan {
+    /// Last dispatch tick assigned to this stream, plus one (0 = never).
+    last_plus1: u64,
+    /// Requests dispatched to this stream so far.
+    count: u64,
+    queue_gap: MetricId,
+    load_share: MetricId,
+}
+
+/// Dispatcher-side logical-clock accounting: owns the global dispatch
+/// clock and the per-stream queue-gap/load-share metrics.
+///
+/// Single-threaded by design — the engine's dispatcher is the only
+/// caller, which is exactly what makes the exported values
+/// worker-count-invariant. The clock persists across runs of the same
+/// engine (warm continuation keeps accumulating).
+pub struct DispatchSpans {
+    sink: Arc<dyn MetricsSink>,
+    dispatched: MetricId,
+    clock: u64,
+    streams: Vec<StreamSpan>,
+}
+
+impl DispatchSpans {
+    /// Registers the dispatch-stage metrics for `streams` shard streams
+    /// under `scope` (the same scope the engine's other metrics use).
+    pub fn attach(sink: &Arc<dyn MetricsSink>, scope: &str, streams: usize) -> DispatchSpans {
+        let dispatched = sink.register(
+            &format!("{scope}.engine.span.dispatched_total"),
+            MetricKind::Counter,
+        );
+        let streams = (0..streams)
+            .map(|i| StreamSpan {
+                last_plus1: 0,
+                count: 0,
+                queue_gap: sink.register(
+                    &format!("{scope}.s{i:02}.span.queue_gap"),
+                    MetricKind::Histogram,
+                ),
+                load_share: sink.register(
+                    &format!("{scope}.s{i:02}.span.load_share_x1000"),
+                    MetricKind::Gauge,
+                ),
+            })
+            .collect();
+        DispatchSpans {
+            sink: Arc::clone(sink),
+            dispatched,
+            clock: 0,
+            streams,
+        }
+    }
+
+    /// Ticks the global dispatch clock for a request routed to `stream`:
+    /// counts the dispatch stage, observes the stream's logical queue gap
+    /// and updates its load-share gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn record(&mut self, stream: usize) {
+        let tick = self.clock;
+        self.clock += 1;
+        self.sink.counter_add(self.dispatched, 1);
+        let st = &mut self.streams[stream];
+        // First arrival measures its distance from the stream's start.
+        let gap = tick + 1 - st.last_plus1;
+        st.last_plus1 = tick + 1;
+        st.count += 1;
+        self.sink.observe(st.queue_gap, gap);
+        self.sink
+            .gauge_set(st.load_share, st.count * 1000 / (tick + 1));
+    }
+
+    /// Total dispatch ticks so far (requests routed over the engine's
+    /// lifetime).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+/// Shard-side logical stage counters: decide and evict, recorded by the
+/// worker that owns the shard. Counters are atomic, and each shard is
+/// touched by exactly one worker per run, so the totals are exact.
+#[derive(Debug, Clone)]
+pub struct ShardSpans {
+    processed: MetricId,
+    evict_events: MetricId,
+}
+
+impl ShardSpans {
+    /// Registers shard `i`'s decide/evict stage counters under `scope`.
+    pub fn attach(sink: &Arc<dyn MetricsSink>, scope: &str, i: usize) -> ShardSpans {
+        ShardSpans {
+            processed: sink.register(
+                &format!("{scope}.s{i:02}.span.processed_total"),
+                MetricKind::Counter,
+            ),
+            evict_events: sink.register(
+                &format!("{scope}.s{i:02}.span.evict_events_total"),
+                MetricKind::Counter,
+            ),
+        }
+    }
+
+    /// Counts one completed shard-decide stage; `evicted` decisions also
+    /// count an evict stage.
+    pub fn record(&self, sink: &dyn MetricsSink, evicted: bool) {
+        sink.counter_add(self.processed, 1);
+        if evicted {
+            sink.counter_add(self.evict_events, 1);
+        }
+    }
+}
+
+/// Per-worker wall-clock stage timings: batch wait (time blocked in the
+/// queue pop), batch service (time deciding the batch) and the queue
+/// depth observed at each pop. All three are
+/// [`MetricKind::TimingHistogram`] — never exported in bundles, by the
+/// determinism rule — registered as `{scope}.w{w:02}.span.*`.
+#[derive(Debug, Clone)]
+pub struct WorkerTimings {
+    batch_wait_ns: MetricId,
+    batch_service_ns: MetricId,
+    queue_depth: MetricId,
+}
+
+impl WorkerTimings {
+    /// Registers worker `w`'s timing histograms under `scope`.
+    pub fn attach(sink: &Arc<dyn MetricsSink>, scope: &str, w: usize) -> WorkerTimings {
+        let name = |metric: &str| format!("{scope}.w{w:02}.span.{metric}");
+        WorkerTimings {
+            batch_wait_ns: sink.register(&name("batch_wait_ns"), MetricKind::TimingHistogram),
+            batch_service_ns: sink.register(&name("batch_service_ns"), MetricKind::TimingHistogram),
+            queue_depth: sink.register(&name("queue_depth_batches"), MetricKind::TimingHistogram),
+        }
+    }
+
+    /// Records one consumed batch: nanoseconds blocked waiting for it,
+    /// nanoseconds spent deciding it, and the queue depth left behind.
+    pub fn record_batch(&self, sink: &dyn MetricsSink, wait_ns: u64, service_ns: u64, depth: u64) {
+        sink.observe(self.batch_wait_ns, wait_ns);
+        sink.observe(self.batch_service_ns, service_ns);
+        sink.observe(self.queue_depth, depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn registry() -> (Arc<MetricsRegistry>, Arc<dyn MetricsSink>) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink: Arc<dyn MetricsSink> = reg.clone();
+        (reg, sink)
+    }
+
+    fn value(reg: &MetricsRegistry, name: &str) -> u64 {
+        reg.snapshot(false)
+            .into_iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+            .value
+    }
+
+    #[test]
+    fn stage_names() {
+        let names: Vec<&str> = [
+            SpanStage::Dispatch,
+            SpanStage::Queue,
+            SpanStage::Decide,
+            SpanStage::Evict,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(names, vec!["dispatch", "queue", "decide", "evict"]);
+    }
+
+    #[test]
+    fn dispatch_conserves_and_shares_sum() {
+        let (reg, sink) = registry();
+        let mut spans = DispatchSpans::attach(&sink, "e", 2);
+        // Streams: 0,0,1,0 — clock ticks 0..4.
+        for s in [0usize, 0, 1, 0] {
+            spans.record(s);
+        }
+        assert_eq!(spans.clock(), 4);
+        assert_eq!(value(&reg, "e.engine.span.dispatched_total"), 4);
+        // Stream 0 got 3 of 4 → share 750; stream 1 got 1 of 3 at its
+        // last update (tick 2) → share 333.
+        assert_eq!(value(&reg, "e.s00.span.load_share_x1000"), 750);
+        assert_eq!(value(&reg, "e.s01.span.load_share_x1000"), 333);
+    }
+
+    #[test]
+    fn queue_gap_measures_logical_interarrival() {
+        let (reg, sink) = registry();
+        let mut spans = DispatchSpans::attach(&sink, "e", 2);
+        for s in [0usize, 1, 1, 0] {
+            spans.record(s);
+        }
+        let snap = reg.snapshot(false);
+        let hist = |name: &str| {
+            snap.iter()
+                .find(|m| m.name == name)
+                .and_then(|m| m.histogram.clone())
+                .unwrap_or_else(|| panic!("histogram {name} missing"))
+        };
+        // Stream 0: gaps 1 (tick 0, first) and 3 (tick 3 − tick 0).
+        let s0 = hist("e.s00.span.queue_gap");
+        assert_eq!(s0.count, 2);
+        assert_eq!(s0.sum, 4);
+        // Stream 1: gaps 2 (tick 1, first) and 1 (tick 2 − tick 1).
+        let s1 = hist("e.s01.span.queue_gap");
+        assert_eq!(s1.count, 2);
+        assert_eq!(s1.sum, 3);
+    }
+
+    #[test]
+    fn shard_spans_count_decide_and_evict() {
+        let (reg, sink) = registry();
+        let spans = ShardSpans::attach(&sink, "e", 3);
+        spans.record(sink.as_ref(), false);
+        spans.record(sink.as_ref(), true);
+        spans.record(sink.as_ref(), false);
+        assert_eq!(value(&reg, "e.s03.span.processed_total"), 3);
+        assert_eq!(value(&reg, "e.s03.span.evict_events_total"), 1);
+    }
+
+    #[test]
+    fn worker_timings_are_timing_kind_and_never_deterministic() {
+        let (reg, sink) = registry();
+        let tm = WorkerTimings::attach(&sink, "e", 0);
+        tm.record_batch(sink.as_ref(), 100, 2000, 3);
+        // Visible to the live snapshot…
+        assert_eq!(value(&reg, "e.w00.span.batch_wait_ns"), 1);
+        // …but excluded from every deterministic export.
+        assert!(reg
+            .snapshot(true)
+            .iter()
+            .all(|m| !m.name.contains(".w00.span.")));
+    }
+
+    #[test]
+    fn logical_plane_is_fully_deterministic_kind() {
+        let (reg, sink) = registry();
+        let mut d = DispatchSpans::attach(&sink, "e", 4);
+        for i in 0..16 {
+            d.record(i % 4);
+        }
+        for i in 0..4 {
+            ShardSpans::attach(&sink, "e", i).record(sink.as_ref(), i % 2 == 0);
+        }
+        let det = reg.snapshot(true);
+        let all = reg.snapshot(false);
+        assert_eq!(det.len(), all.len(), "span logical metrics must export");
+    }
+}

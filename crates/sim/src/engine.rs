@@ -54,6 +54,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use vcdn_obs::span::{DispatchSpans, ShardSpans, WorkerTimings};
+use vcdn_obs::topk::{SpaceSaving, TopKEntry, TopKRecord};
 
 use vcdn_core::{CacheConfig, CachePolicy};
 use vcdn_obs::{MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs, TelemetryBundle};
@@ -171,6 +175,10 @@ pub struct EngineConfig {
     /// Verify policy invariants (capacity, serve completeness) after
     /// every request; cheap, on by default.
     pub check_invariants: bool,
+    /// Slots per shard in the Space-Saving heavy-hitter sketch created by
+    /// [`ShardedEngine::attach_obs`] (0 disables sketching). Detached
+    /// engines never sketch, preserving off-means-free.
+    pub topk: usize,
 }
 
 impl EngineConfig {
@@ -201,6 +209,7 @@ impl EngineConfig {
             batch: 256,
             queue_depth: 8,
             check_invariants: true,
+            topk: 8,
         })
     }
 
@@ -244,6 +253,12 @@ impl EngineConfig {
     /// Toggles the per-request invariant walk.
     pub fn with_check_invariants(mut self, on: bool) -> Self {
         self.check_invariants = on;
+        self
+    }
+
+    /// Overrides the per-shard heavy-hitter sketch capacity (0 disables).
+    pub fn with_topk(mut self, k: usize) -> Self {
+        self.topk = k;
         self
     }
 
@@ -319,14 +334,16 @@ impl BatchQueue {
     }
 
     /// Dequeues the oldest batch, blocking while the queue is empty and
-    /// open. Returns `None` once the queue is closed and drained.
-    fn pop(&self) -> Option<Vec<u32>> {
+    /// open. Returns the batch plus the depth left behind (batches still
+    /// queued), or `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<(Vec<u32>, usize)> {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(batch) = st.batches.pop_front() {
+                let depth = st.batches.len();
                 drop(st);
                 self.can_push.notify_one();
-                return Some(batch);
+                return Some((batch, depth));
             }
             if st.closed {
                 return None;
@@ -353,12 +370,20 @@ impl BatchQueue {
 /// the sum of per-shard counters in any quiescent snapshot.
 struct EngineObs {
     sink: Arc<dyn MetricsSink>,
+    scope: String,
     served: MetricId,
     redirected: MetricId,
     hit_chunks: MetricId,
     fill_chunks: MetricId,
     redirect_chunks: MetricId,
     evicted_chunks: MetricId,
+    /// Shard-imbalance gauges: max/mean ×1000 over per-shard request and
+    /// requested-byte totals, refreshed at the end of every run.
+    skew_requests: MetricId,
+    skew_bytes: MetricId,
+    /// Wall-clock time the dispatcher spends blocked pushing a batch
+    /// (backpressure). Timing kind: never exported in bundles.
+    dispatch_push_ns: MetricId,
 }
 
 impl EngineObs {
@@ -371,7 +396,12 @@ impl EngineObs {
             fill_chunks: sink.register(&name("fill_chunks_total"), MetricKind::Counter),
             redirect_chunks: sink.register(&name("redirect_chunks_total"), MetricKind::Counter),
             evicted_chunks: sink.register(&name("evicted_chunks_total"), MetricKind::Counter),
+            skew_requests: sink.register(&name("span.skew_requests_x1000"), MetricKind::Gauge),
+            skew_bytes: sink.register(&name("span.skew_bytes_x1000"), MetricKind::Gauge),
+            dispatch_push_ns: sink
+                .register(&name("span.dispatch_push_ns"), MetricKind::TimingHistogram),
             sink: Arc::clone(sink),
+            scope: scope.to_string(),
         }
     }
 }
@@ -383,6 +413,11 @@ struct EngineShard {
     overall: TrafficCounter,
     steady: TrafficCounter,
     requests: u64,
+    /// Decide/evict stage counters; present only while observed.
+    spans: Option<ShardSpans>,
+    /// Heavy-hitter sketch over the shard's video stream; present only
+    /// while observed and `cfg.topk > 0` (off means free).
+    topk: Option<SpaceSaving>,
 }
 
 /// Per-run context shared (immutably) by every worker.
@@ -402,6 +437,13 @@ fn process(shard: &mut EngineShard, request: &Request, ctx: &RunCtx<'_>) {
     let chunks = request.chunk_len(ctx.chunk_size);
     let decision = shard.policy.handle_request(request);
     shard.requests += 1;
+    if let Some(sketch) = shard.topk.as_mut() {
+        sketch.record(ChunkId::new(request.video, 0).packed());
+    }
+    if let (Some(spans), Some(obs)) = (&shard.spans, ctx.obs) {
+        let evicted = matches!(&decision, Decision::Serve(o) if !o.evicted.is_empty());
+        spans.record(obs.sink.as_ref(), evicted);
+    }
     let in_steady = request.t >= ctx.steady_from;
     match decision {
         Decision::Serve(o) => {
@@ -453,7 +495,12 @@ fn process(shard: &mut EngineShard, request: &Request, ctx: &RunCtx<'_>) {
 }
 
 /// One shard's share of an [`EngineReport`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the accounting payload only; `top_videos` is
+/// deliberately excluded so an instrumented engine's report compares
+/// equal to a detached baseline's (the contention bench's off-means-free
+/// assertion).
+#[derive(Debug, Clone)]
 pub struct ShardReport {
     /// Shard index (also the partition id).
     pub shard: usize,
@@ -469,6 +516,22 @@ pub struct ShardReport {
     pub overall: TrafficCounter,
     /// The shard's steady-state traffic.
     pub steady: TrafficCounter,
+    /// The shard's heavy hitters (empty when the engine runs detached):
+    /// Space-Saving entries keyed by the packed first chunk of each
+    /// video, sorted `(count desc, key asc)`. Excluded from equality.
+    pub top_videos: Vec<TopKEntry>,
+}
+
+impl PartialEq for ShardReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.shard == other.shard
+            && self.policy == other.policy
+            && self.capacity_chunks == other.capacity_chunks
+            && self.used_chunks == other.used_chunks
+            && self.requests == other.requests
+            && self.overall == other.overall
+            && self.steady == other.steady
+    }
 }
 
 /// Outcome of running a trace through the sharded engine.
@@ -487,6 +550,9 @@ pub struct EngineReport {
     pub dispatched: u64,
     /// The cost model used for efficiency computation.
     pub costs: CostModel,
+    /// Per-shard sketch capacity in effect (0 when the engine ran
+    /// detached and no sketches existed). Excluded from equality.
+    pub topk_k: usize,
 }
 
 impl PartialEq for EngineReport {
@@ -529,6 +595,7 @@ pub struct ShardedEngine {
     cfg: EngineConfig,
     shards: Vec<EngineShard>,
     obs: Option<EngineObs>,
+    spans: Option<DispatchSpans>,
     dispatched: u64,
     last_workers: usize,
 }
@@ -586,12 +653,15 @@ impl ShardedEngine {
                 overall: TrafficCounter::default(),
                 steady: TrafficCounter::default(),
                 requests: 0,
+                spans: None,
+                topk: None,
             });
         }
         Ok(ShardedEngine {
             cfg,
             shards,
             obs: None,
+            spans: None,
             dispatched: 0,
             last_workers: 1,
         })
@@ -616,17 +686,27 @@ impl ShardedEngine {
     }
 
     /// Attaches shared metrics: each shard's policy records under
-    /// `{scope}.s{i:02}.{policy}`, and the engine registers
+    /// `{scope}.s{i:02}.{policy}`, the engine registers
     /// `{scope}.engine.*` aggregate counters updated atomically by the
-    /// workers. Call before [`ShardedEngine::run`]; snapshots taken at
-    /// quiescence (after `run` returns) are consistent with the report.
+    /// workers, and the span/sketch instrumentation comes alive —
+    /// per-shard stage counters and queue-gap histograms
+    /// (`{scope}.s{i:02}.span.*`), the dispatch clock
+    /// (`{scope}.engine.span.dispatched_total`), shard-imbalance gauges,
+    /// and one `cfg.topk`-slot Space-Saving sketch per shard. Detached
+    /// engines skip all of it (off means free). Call before
+    /// [`ShardedEngine::run`]; snapshots taken at quiescence (after `run`
+    /// returns) are consistent with the report.
     pub fn attach_obs(&mut self, sink: &Arc<dyn MetricsSink>, scope: &str) {
+        let topk = self.cfg.topk;
         for (i, shard) in self.shards.iter_mut().enumerate() {
             let shard_scope = format!("{scope}.s{i:02}.{}", shard.policy.name());
             shard
                 .policy
                 .attach_obs(PolicyObs::attach(Arc::clone(sink), &shard_scope));
+            shard.spans = Some(ShardSpans::attach(sink, scope, i));
+            shard.topk = (topk > 0).then(|| SpaceSaving::new(topk));
         }
+        self.spans = Some(DispatchSpans::attach(sink, scope, self.cfg.shards));
         self.obs = Some(EngineObs::attach(sink, scope));
     }
 
@@ -672,8 +752,14 @@ impl ShardedEngine {
         if workers == 1 {
             // Inline fast path: no queues, no extra threads — the honest
             // single-thread baseline the contention bench compares against.
+            // The calling thread plays dispatcher and worker, so it ticks
+            // the dispatch clock in the same trace order the threaded
+            // dispatcher would — exports stay worker-count-invariant.
             for request in requests {
                 let s = shard_of_video(request.video, n);
+                if let Some(spans) = self.spans.as_mut() {
+                    spans.record(s);
+                }
                 process(&mut self.shards[s], request, &ctx);
             }
         } else {
@@ -681,6 +767,14 @@ impl ShardedEngine {
             let queues: Vec<BatchQueue> = (0..workers)
                 .map(|_| BatchQueue::new(self.cfg.queue_depth))
                 .collect();
+            // Per-worker wall-clock stage timings: only registered while
+            // observed, so detached runs never touch a clock.
+            let timings: Option<Vec<WorkerTimings>> = self.obs.as_ref().map(|o| {
+                (0..workers)
+                    .map(|w| WorkerTimings::attach(&o.sink, &o.scope, w))
+                    .collect()
+            });
+            let mut dispatch_spans = self.spans.as_mut();
             // Static shard ownership: worker w owns shards {s | s % workers == w},
             // each stored at local index s / workers.
             let mut owned: Vec<Vec<&mut EngineShard>> = (0..workers).map(|_| Vec::new()).collect();
@@ -691,32 +785,77 @@ impl ShardedEngine {
                 for (w, mut own) in owned.into_iter().enumerate() {
                     let queue = &queues[w];
                     let ctx = &ctx;
+                    let timing = timings.as_ref().map(|t| t[w].clone());
                     scope.spawn(move || {
-                        while let Some(batch) = queue.pop() {
-                            for &idx in &batch {
-                                let request = &requests[idx as usize];
-                                let s = shard_of_video(request.video, n);
-                                process(own[s / workers], request, ctx);
+                        if let Some(timing) = timing {
+                            // Instrumented consumer: wall-clock the queue
+                            // (wait) and decide (service) stages per batch.
+                            loop {
+                                let waited = Instant::now();
+                                let Some((batch, depth)) = queue.pop() else {
+                                    break;
+                                };
+                                let wait_ns = waited.elapsed().as_nanos() as u64;
+                                let served = Instant::now();
+                                for &idx in &batch {
+                                    let request = &requests[idx as usize];
+                                    let s = shard_of_video(request.video, n);
+                                    process(own[s / workers], request, ctx);
+                                }
+                                let service_ns = served.elapsed().as_nanos() as u64;
+                                if let Some(obs) = ctx.obs {
+                                    timing.record_batch(
+                                        obs.sink.as_ref(),
+                                        wait_ns,
+                                        service_ns,
+                                        depth as u64,
+                                    );
+                                }
+                                queue.recycle(batch);
                             }
-                            queue.recycle(batch);
+                        } else {
+                            while let Some((batch, _)) = queue.pop() {
+                                for &idx in &batch {
+                                    let request = &requests[idx as usize];
+                                    let s = shard_of_video(request.video, n);
+                                    process(own[s / workers], request, ctx);
+                                }
+                                queue.recycle(batch);
+                            }
                         }
                     });
                 }
                 // The dispatcher: route every request (in trace order) to
-                // its shard's owning worker, flushing full batches.
+                // its shard's owning worker, flushing full batches. Push
+                // time (backpressure) is wall-clock, so it is only
+                // measured while observed.
+                let push = |w: usize, buf: &mut Vec<u32>| {
+                    if let Some(obs) = ctx.obs {
+                        let t0 = Instant::now();
+                        queues[w].push(buf);
+                        obs.sink
+                            .observe(obs.dispatch_push_ns, t0.elapsed().as_nanos() as u64);
+                    } else {
+                        queues[w].push(buf);
+                    }
+                };
                 let mut bufs: Vec<Vec<u32>> =
                     (0..workers).map(|_| Vec::with_capacity(batch)).collect();
                 for (i, request) in requests.iter().enumerate() {
-                    let w = shard_of_video(request.video, n) % workers;
+                    let s = shard_of_video(request.video, n);
+                    if let Some(spans) = &mut dispatch_spans {
+                        spans.record(s);
+                    }
+                    let w = s % workers;
                     let buf = &mut bufs[w];
                     buf.push(i as u32);
                     if buf.len() >= batch {
-                        queues[w].push(buf);
+                        push(w, buf);
                     }
                 }
                 for (w, buf) in bufs.iter_mut().enumerate() {
                     if !buf.is_empty() {
-                        queues[w].push(buf);
+                        push(w, buf);
                     }
                     queues[w].close();
                 }
@@ -725,7 +864,33 @@ impl ShardedEngine {
 
         self.dispatched += limit as u64;
         self.last_workers = workers;
+        self.refresh_skew_gauges();
         self.report()
+    }
+
+    /// Recomputes the shard-imbalance gauges from the cumulative per-shard
+    /// accounting: `max/mean × 1000` over requests and requested bytes.
+    /// A perfectly balanced partition reads 1000; pure functions of the
+    /// per-shard counters, hence worker-count-invariant.
+    fn refresh_skew_gauges(&self) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let n = self.shards.len() as u128;
+        let skew = |max: u64, total: u64| (max as u128 * 1000 * n / total as u128) as u64;
+        let req_max = self.shards.iter().map(|s| s.requests).max().unwrap_or(0);
+        let req_total: u64 = self.shards.iter().map(|s| s.requests).sum();
+        if req_total > 0 {
+            obs.sink
+                .gauge_set(obs.skew_requests, skew(req_max, req_total));
+        }
+        let bytes = |s: &EngineShard| s.overall.requested_bytes();
+        let byte_max = self.shards.iter().map(bytes).max().unwrap_or(0);
+        let byte_total: u64 = self.shards.iter().map(bytes).sum();
+        if byte_total > 0 {
+            obs.sink
+                .gauge_set(obs.skew_bytes, skew(byte_max, byte_total));
+        }
     }
 
     /// The engine's cumulative report (all requests run so far).
@@ -743,11 +908,21 @@ impl ShardedEngine {
                     requests: s.requests,
                     overall: s.overall,
                     steady: s.steady,
+                    top_videos: s
+                        .topk
+                        .as_ref()
+                        .map(SpaceSaving::entries)
+                        .unwrap_or_default(),
                 })
                 .collect(),
             workers: self.last_workers,
             dispatched: self.dispatched,
             costs: self.cfg.costs,
+            topk_k: if self.shards.iter().any(|s| s.topk.is_some()) {
+                self.cfg.topk
+            } else {
+                0
+            },
         }
     }
 }
@@ -780,7 +955,21 @@ pub fn engine_bundle(report: &EngineReport, registry: &MetricsRegistry) -> Telem
     bundle.meta_entry("hit_bytes", Json::Int(agg.hit_bytes as i128));
     bundle.meta_entry("fill_bytes", Json::Int(agg.fill_bytes as i128));
     bundle.meta_entry("redirect_bytes", Json::Int(agg.redirect_bytes as i128));
+    bundle.meta_entry("topk_k", Json::Int(report.topk_k as i128));
     bundle.metrics = registry.snapshot(true);
+    for shard in &report.shards {
+        for (i, e) in shard.top_videos.iter().enumerate() {
+            bundle.topk.push(TopKRecord {
+                shard: shard.shard as u32,
+                rank: (i + 1) as u32,
+                // Sketch keys are packed ChunkId(video, 0): unpack back
+                // to the video id for the exported record.
+                video: e.key >> ChunkId::INDEX_BITS,
+                count: e.count,
+                err: e.err,
+            });
+        }
+    }
     bundle
 }
 
@@ -900,6 +1089,9 @@ mod tests {
         // Workers field reflects the actual (clamped) count but is
         // excluded from equality.
         assert_eq!(reports[3].workers, 4);
+        // Detached engines carry no sketches: off means free.
+        assert_eq!(reports[0].topk_k, 0);
+        assert!(reports[0].shards.iter().all(|s| s.top_videos.is_empty()));
     }
 
     #[test]
@@ -1090,6 +1282,97 @@ mod tests {
         for line in w1.lines() {
             vcdn_types::json::parse(line)
                 .unwrap_or_else(|e| panic!("bad JSONL line {line}: {e:?}"));
+        }
+        // The invariant covers the new record kinds too: span metrics and
+        // heavy-hitter lines are part of the byte-compared payload.
+        assert!(w1.contains("\"topk_k\":8"));
+        assert!(w1.contains("\"type\":\"topk\""));
+        assert!(w1.contains("span.dispatched_total"));
+        assert!(w1.contains("span.queue_gap"));
+        assert!(w1.contains("span.skew_requests_x1000"));
+        // And no wall-clock plane ever leaks into a bundle.
+        assert!(!w1.contains("batch_wait_ns"));
+        assert!(!w1.contains("dispatch_push_ns"));
+    }
+
+    #[test]
+    fn span_conservation_and_topk_bounds_hold() {
+        let t = trace();
+        let shards = 4;
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink: Arc<dyn MetricsSink> = registry.clone();
+        let mut engine = xlru_engine(shards, 96);
+        engine.attach_obs(&sink, "e0");
+        let report = engine.run(&t, 3);
+        let snap = registry.snapshot(true);
+        let metric = |name: &str| {
+            snap.iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .value
+        };
+        // Conservation: every dispatched request decided exactly once.
+        let dispatched = metric("e0.engine.span.dispatched_total");
+        assert_eq!(dispatched, t.len() as u64);
+        let processed: u64 = (0..shards)
+            .map(|i| metric(&format!("e0.s{i:02}.span.processed_total")))
+            .sum();
+        assert_eq!(dispatched, processed);
+        for s in &report.shards {
+            assert_eq!(
+                metric(&format!("e0.s{:02}.span.processed_total", s.shard)),
+                s.requests,
+                "shard {} span vs report",
+                s.shard
+            );
+        }
+        // Queue-gap histograms observe one gap per dispatched request.
+        let gap_count: u64 = snap
+            .iter()
+            .filter(|m| m.name.ends_with("span.queue_gap"))
+            .map(|m| m.value)
+            .sum();
+        assert_eq!(gap_count, dispatched);
+        // Skew gauges: max/mean ×1000 is at least 1000 by construction.
+        assert!(metric("e0.engine.span.skew_requests_x1000") >= 1000);
+        assert!(metric("e0.engine.span.skew_bytes_x1000") >= 1000);
+        // Top-K sketches obey the Space-Saving bound against the exact
+        // per-shard truth, and the heaviest video per shard is tracked.
+        assert_eq!(report.topk_k, 8);
+        let per = shard_requests(&t, shards);
+        for s in &report.shards {
+            let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for r in &per[s.shard] {
+                *truth.entry(r.video.0).or_insert(0) += 1;
+            }
+            assert!(!s.top_videos.is_empty(), "shard {} sketch empty", s.shard);
+            assert!(s.top_videos.len() <= 8);
+            let n_over_k = per[s.shard].len() as u64 / 8;
+            for e in &s.top_videos {
+                let video = e.key >> ChunkId::INDEX_BITS;
+                let true_count = truth.get(&video).copied().unwrap_or(0);
+                assert!(
+                    e.count >= true_count && e.count - e.err <= true_count,
+                    "shard {} video {video}: sketch [{}, {}] vs true {true_count}",
+                    s.shard,
+                    e.count - e.err,
+                    e.count
+                );
+            }
+            if let Some((&hot, &hot_count)) = truth
+                .iter()
+                .max_by_key(|&(&v, &c)| (c, std::cmp::Reverse(v)))
+            {
+                if hot_count > n_over_k {
+                    assert!(
+                        s.top_videos
+                            .iter()
+                            .any(|e| e.key >> ChunkId::INDEX_BITS == hot),
+                        "shard {}: heavy video {hot} untracked",
+                        s.shard
+                    );
+                }
+            }
         }
     }
 

@@ -12,13 +12,14 @@
 use std::sync::Arc;
 
 use vcdn_core::CachePolicy;
+use vcdn_obs::topk::{SpaceSaving, TopKRecord};
 use vcdn_obs::{
     DecisionEvent, EventRing, MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs,
     ReplaySampler, TelemetryBundle, Verdict,
 };
 use vcdn_trace::Trace;
 use vcdn_types::json::Json;
-use vcdn_types::{Decision, DurationMs};
+use vcdn_types::{ChunkId, Decision, DurationMs};
 
 use crate::replay::{DecisionCtx, ReplayObserver, ReplayReport, Replayer};
 use crate::runner::{Cell, CellResult};
@@ -36,15 +37,20 @@ pub struct TelemetryConfig {
     /// non-deterministic, so the histogram never appears in exported
     /// bundles; off by default.
     pub time_decisions: bool,
+    /// Slots in the Space-Saving heavy-hitter sketch over the replay's
+    /// video stream (0 disables the sketch and the bundle's topk lines).
+    pub topk_k: usize,
 }
 
 impl TelemetryConfig {
-    /// Hourly samples, 4096 retained events, no wall-clock timing.
+    /// Hourly samples, 4096 retained events, an 8-slot heavy-hitter
+    /// sketch, no wall-clock timing.
     pub fn new() -> TelemetryConfig {
         TelemetryConfig {
             sample_interval: DurationMs::HOUR,
             event_capacity: 4096,
             time_decisions: false,
+            topk_k: 8,
         }
     }
 
@@ -71,6 +77,12 @@ impl TelemetryConfig {
         self.time_decisions = on;
         self
     }
+
+    /// Overrides the heavy-hitter sketch capacity (0 disables).
+    pub fn with_topk(mut self, k: usize) -> Self {
+        self.topk_k = k;
+        self
+    }
 }
 
 impl Default for TelemetryConfig {
@@ -91,6 +103,7 @@ pub struct TelemetryObserver {
     latency_id: MetricId,
     ring: EventRing,
     sampler: ReplaySampler,
+    topk: Option<SpaceSaving>,
     chunk_bytes: u64,
     time_decisions: bool,
     meta: Vec<(String, Json)>,
@@ -116,6 +129,7 @@ impl TelemetryObserver {
             latency_id,
             ring: EventRing::new(telemetry.event_capacity),
             sampler: ReplaySampler::new(telemetry.sample_interval.as_millis(), cfg.costs),
+            topk: (telemetry.topk_k > 0).then(|| SpaceSaving::new(telemetry.topk_k)),
             chunk_bytes: cfg.chunk_size.bytes(),
             time_decisions: telemetry.time_decisions,
             meta: Vec::new(),
@@ -140,6 +154,17 @@ impl TelemetryObserver {
         let mut bundle = TelemetryBundle::new();
         bundle.meta = self.meta;
         bundle.metrics = self.registry.snapshot(true);
+        if let Some(sketch) = &self.topk {
+            for (i, e) in sketch.entries().iter().enumerate() {
+                bundle.topk.push(TopKRecord {
+                    shard: 0,
+                    rank: (i + 1) as u32,
+                    video: e.key >> ChunkId::INDEX_BITS,
+                    count: e.count,
+                    err: e.err,
+                });
+            }
+        }
         bundle.events_dropped = self.ring.dropped();
         bundle.events = self.ring.iter_oldest_first().cloned().collect();
         bundle.series = self.sampler.finish();
@@ -153,6 +178,9 @@ impl ReplayObserver for TelemetryObserver {
     }
 
     fn on_decision(&mut self, ctx: &DecisionCtx<'_>) {
+        if let Some(sketch) = self.topk.as_mut() {
+            sketch.record(ChunkId::new(ctx.request.video, 0).packed());
+        }
         let (verdict, hit_b, fill_b, red_b, evicted) = match ctx.decision {
             Decision::Serve(o) => (
                 Verdict::Serve {
@@ -219,6 +247,7 @@ pub fn replay_with_telemetry(
         "interval_ms",
         Json::Int(telemetry.sample_interval.as_millis() as i128),
     );
+    observer.meta_entry("topk_k", Json::Int(telemetry.topk_k as i128));
     observer.meta_entry("trace", Json::Str(trace.meta.name.clone()));
     observer.meta_entry("requests", Json::Int(trace.len() as i128));
     let report = replayer.replay_observed(trace, policy, &mut observer);
@@ -295,8 +324,50 @@ mod tests {
             replay_with_telemetry(&replayer(costs), &t, &mut observed, &TelemetryConfig::new());
         assert_eq!(report, baseline);
         assert!(!bundle.metrics.is_empty());
+        assert!(!bundle.topk.is_empty());
         assert!(!bundle.series.is_empty());
         assert!(!bundle.events.is_empty());
+    }
+
+    #[test]
+    fn topk_records_bound_true_counts_and_rank_sequentially() {
+        let t = trace();
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut cache = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let (_, bundle) =
+            replay_with_telemetry(&replayer(costs), &t, &mut cache, &TelemetryConfig::new());
+        let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for r in &t.requests {
+            *truth.entry(r.video.0).or_insert(0) += 1;
+        }
+        assert!(bundle.topk.len() <= 8);
+        for (i, rec) in bundle.topk.iter().enumerate() {
+            assert_eq!(rec.shard, 0);
+            assert_eq!(rec.rank as usize, i + 1, "ranks must be sequential");
+            let true_count = truth.get(&rec.video).copied().unwrap_or(0);
+            assert!(
+                rec.count >= true_count && rec.count - rec.err <= true_count,
+                "video {}: sketch [{}, {}] vs true {true_count}",
+                rec.video,
+                rec.count - rec.err,
+                rec.count
+            );
+        }
+        // Any video hotter than n/k is guaranteed tracked.
+        let n_over_k = t.len() as u64 / 8;
+        for (&video, &count) in &truth {
+            if count > n_over_k {
+                assert!(
+                    bundle.topk.iter().any(|r| r.video == video),
+                    "heavy video {video} (true {count} > {n_over_k}) untracked"
+                );
+            }
+        }
+        // Disabling the sketch removes the lines and the meta points at 0.
+        let off = TelemetryConfig::new().with_topk(0);
+        let mut cache = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let (_, bundle_off) = replay_with_telemetry(&replayer(costs), &t, &mut cache, &off);
+        assert!(bundle_off.topk.is_empty());
     }
 
     #[test]

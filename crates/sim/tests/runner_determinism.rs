@@ -5,8 +5,11 @@
 //! and Cafe across several α values — through [`run_grid`] with 1 worker
 //! and with many, and asserts the two result vectors are identical.
 
+use std::sync::Arc;
+
 use vcdn_core::{CacheConfig, CachePolicy, CafeCache, CafeConfig, XlruCache};
-use vcdn_sim::engine::{EngineConfig, EngineReport, ShardedEngine};
+use vcdn_obs::{MetricsRegistry, MetricsSink};
+use vcdn_sim::engine::{engine_bundle, EngineConfig, EngineReport, ShardedEngine};
 use vcdn_sim::observe::{grid_jsonl, telemetry_cell, TelemetryConfig};
 use vcdn_sim::runner::{run_grid, Cell, CellResult};
 use vcdn_sim::{ReplayConfig, Replayer};
@@ -151,6 +154,42 @@ fn engine_counters_identical_at_1_2_4_8_workers() {
             baseline.aggregate_steady(),
             run.aggregate_steady(),
             "{workers} workers"
+        );
+    }
+}
+
+/// The observability extension at the engine level: an *instrumented*
+/// engine's telemetry bundle — span counters, queue-gap histograms,
+/// load-share and skew gauges, and the per-shard heavy-hitter tables —
+/// serialises to byte-identical JSONL at 1, 2, 4 and 8 workers. This is
+/// the deterministic-tracing contract: logical-clock spans and sketches
+/// depend only on the trace order, never on thread interleaving (the
+/// wall-clock timing histograms are excluded from the export by kind).
+#[test]
+fn engine_bundle_identical_at_1_2_4_8_workers() {
+    let trace = trace();
+    let k = ChunkSize::DEFAULT;
+    let costs = CostModel::from_alpha(2.0).expect("valid alpha");
+    let bundle_at = |workers: usize| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink: Arc<dyn MetricsSink> = registry.clone();
+        let cfg = EngineConfig::new(4, 96, k, costs).expect("valid engine config");
+        let mut engine = ShardedEngine::try_new(cfg, |_, cache| -> Box<dyn CachePolicy> {
+            Box::new(XlruCache::new(cache))
+        })
+        .expect("engine builds");
+        engine.attach_obs(&sink, "det");
+        let report = engine.run(&trace, workers);
+        engine_bundle(&report, &registry).to_jsonl()
+    };
+    let baseline = bundle_at(1);
+    assert!(baseline.contains("\"type\":\"topk\""), "sketch exported");
+    assert!(baseline.contains("span.dispatched_total"), "spans exported");
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            baseline,
+            bundle_at(workers),
+            "engine telemetry bundle diverged at {workers} workers"
         );
     }
 }

@@ -46,18 +46,23 @@ pub struct ChunkId {
 impl_json_struct!(ChunkId { video, index });
 
 impl ChunkId {
+    /// Bits of the packed representation holding the chunk index; the
+    /// video id occupies the bits above. `packed() >> INDEX_BITS`
+    /// recovers the video id (in the injective range).
+    pub const INDEX_BITS: u32 = 20;
+
     /// Creates a chunk identifier.
     pub const fn new(video: VideoId, index: u32) -> Self {
         ChunkId { video, index }
     }
 
     /// Packs both fields into one `u64`: video id in the high bits, chunk
-    /// number in the low 20 (catalog videos are far below 2^20 chunks ≈
-    /// 2 TB at 2 MB/chunk). Injective while `video < 2^44`; beyond that it
-    /// degrades to an ordinary (collision-tolerant) hash input, never a
-    /// unique key.
+    /// number in the low [`ChunkId::INDEX_BITS`] (catalog videos are far
+    /// below 2^20 chunks ≈ 2 TB at 2 MB/chunk). Injective while
+    /// `video < 2^44`; beyond that it degrades to an ordinary
+    /// (collision-tolerant) hash input, never a unique key.
     pub const fn packed(self) -> u64 {
-        (self.video.0 << 20) ^ self.index as u64
+        (self.video.0 << ChunkId::INDEX_BITS) ^ self.index as u64
     }
 }
 
