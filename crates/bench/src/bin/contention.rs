@@ -201,7 +201,8 @@ fn sweep_policy(
         if sweep.is_empty() {
             // First thread count: keep the sketch table and the bundle.
             top_videos = merge_top_videos(&observed);
-            bundle_jsonl = engine_bundle(&observed, &registry).to_jsonl();
+            bundle_jsonl =
+                engine_bundle(&observed, &registry, &vcdn_obs::default_rules()).to_jsonl();
         }
         eprintln!(
             "[contention] {:<8} {:>2} thread(s)  {:>12.0} req/s",

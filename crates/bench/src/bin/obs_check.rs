@@ -20,7 +20,16 @@
 //! queue-gap histogram and load-share gauge. Engine bundles have no
 //! sampler, so the sample-grid requirement is waived for them.
 //!
-//! Flags: `--in <path>` (default `results/telemetry.jsonl`). Exits
+//! Window sections get their own checks: a contiguous index grid,
+//! in-range efficiency/redirect rates, and (when the ring evicted
+//! nothing and the meta line carries run totals) exact delta
+//! conservation back to the cumulative byte counters. Alert lines must
+//! carry known severities in window order and reference windows inside
+//! the exported grid.
+//!
+//! Flags: `--in <path>` (default `results/telemetry.jsonl`) and
+//! `--rules <path>` to additionally verify that a watchdog rules file
+//! parses and round-trips through its canonical rendering. Exits
 //! non-zero with one line per violation if any check fails.
 
 use std::process::ExitCode;
@@ -40,6 +49,8 @@ fn check_bundle(idx: usize, b: &BundleDoc, errs: &mut Vec<String>) {
     for (key, actual) in [
         ("metrics", b.metrics.len()),
         ("topk", b.topk.len()),
+        ("windows", b.windows.len()),
+        ("alerts", b.alerts.len()),
         ("samples", b.samples.len()),
         ("events", b.events.len()),
     ] {
@@ -211,6 +222,106 @@ fn check_bundle(idx: usize, b: &BundleDoc, errs: &mut Vec<String>) {
         }
     }
 
+    // Windows: a contiguous index grid, rates within range, sketch
+    // counts consistent, and — when the meta line carries run totals and
+    // the ring evicted nothing — exact delta conservation: the window
+    // deltas sum back to the run's cumulative byte counters.
+    let mut window_max = None;
+    let mut sums = [0u64; 5]; // hit, fill, redirect, served, redirected
+    for (i, w) in b.windows.iter().enumerate() {
+        let index = as_u64(w.get("index")).unwrap_or(u64::MAX);
+        match window_max {
+            None => {}
+            Some(prev) if index == prev + 1 => {}
+            Some(prev) => err(format!(
+                "window {index} after {prev}: index grid not contiguous"
+            )),
+        }
+        window_max = Some(index);
+        for (j, key) in [
+            "hit_bytes",
+            "fill_bytes",
+            "redirect_bytes",
+            "served_requests",
+            "redirected_requests",
+        ]
+        .iter()
+        .enumerate()
+        {
+            match as_u64(w.get(key)) {
+                Some(v) => sums[j] += v,
+                None => err(format!("window {i}: missing {key}")),
+            }
+        }
+        for key in ["efficiency", "redirect_rate"] {
+            let v = as_f64(w.get(key)).unwrap_or(f64::NAN);
+            if !(v.is_finite() && (-1e9..=1.0).contains(&v)) {
+                err(format!("window {i}: {key} = {v} out of range"));
+            }
+        }
+        if as_u64(w.get("queue_gap_count")).unwrap_or(0) > 0
+            && as_u64(w.get("queue_gap_p99")).is_none()
+        {
+            err(format!("window {i}: gap samples without a p99"));
+        }
+    }
+    let dropped = b.meta_u64("windows_dropped");
+    if !b.windows.is_empty() && dropped.is_none() {
+        err("window lines present but meta.windows_dropped missing".into());
+    }
+    if dropped == Some(0) && !b.windows.is_empty() {
+        for (j, key) in ["hit_bytes", "fill_bytes", "redirect_bytes"]
+            .iter()
+            .enumerate()
+        {
+            if let Some(total) = b.meta_u64(key) {
+                if sums[j] != total {
+                    err(format!(
+                        "window deltas sum {} != meta.{key} {total} (conservation)",
+                        sums[j]
+                    ));
+                }
+            }
+        }
+    }
+
+    // Alerts: known severities, non-decreasing window order, and every
+    // referenced window exists in the exported grid (when the ring
+    // evicted windows, existence can only be bounded from above: alerts
+    // fire at close time and may outlive their window).
+    let mut prev_alert = None;
+    for a in &b.alerts {
+        let window = as_u64(a.get("window")).unwrap_or(u64::MAX);
+        let rule = a.get("rule").and_then(Json::as_str).unwrap_or("");
+        if rule.is_empty() {
+            err(format!("alert at window {window}: empty rule name"));
+        }
+        match a.get("severity").and_then(Json::as_str) {
+            Some("warning") | Some("critical") => {}
+            other => err(format!("alert {rule}: unknown severity {other:?}")),
+        }
+        if prev_alert.is_some_and(|p| window < p) {
+            err(format!("alert {rule}: window {window} out of order"));
+        }
+        prev_alert = Some(window);
+        match window_max {
+            Some(max) if window <= max => {}
+            _ => err(format!(
+                "alert {rule}: window {window} beyond the exported grid"
+            )),
+        }
+        if dropped == Some(0)
+            && !b
+                .windows
+                .iter()
+                .any(|w| as_u64(w.get("index")) == Some(window))
+        {
+            err(format!(
+                "alert {rule}: window {window} missing from the grid"
+            ));
+        }
+    }
+
     // Sample grid: evenly spaced, cumulative counters monotone, final
     // cumulative efficiency recomputes from its own byte counters (Eq. 2).
     let interval = b.meta_u64("interval_ms").unwrap_or(0);
@@ -273,6 +384,39 @@ fn check_bundle(idx: usize, b: &BundleDoc, errs: &mut Vec<String>) {
     }
 }
 
+/// Verifies a watchdog rules file parses and round-trips: parse, render
+/// canonically, re-parse, compare. A rules file the watchdog would
+/// reject — or one whose canonical form drifts — fails the check.
+fn check_rules_file(path: &str, errs: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errs.push(format!("rules {path}: cannot read: {e}"));
+            return;
+        }
+    };
+    let rules = match vcdn_obs::parse_rules(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            errs.push(format!("rules {path}: {e}"));
+            return;
+        }
+    };
+    if rules.is_empty() {
+        errs.push(format!("rules {path}: no rules defined"));
+    }
+    let rendered = vcdn_obs::render_rules(&rules);
+    match vcdn_obs::parse_rules(&rendered) {
+        Ok(again) if again == rules => {}
+        Ok(_) => errs.push(format!(
+            "rules {path}: canonical rendering drifts on re-parse"
+        )),
+        Err(e) => errs.push(format!(
+            "rules {path}: canonical rendering unparseable: {e}"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let path: String = arg_flag("in").unwrap_or_else(|| "results/telemetry.jsonl".to_string());
     let text = match std::fs::read_to_string(&path) {
@@ -284,6 +428,9 @@ fn main() -> ExitCode {
     };
 
     let mut errs: Vec<String> = Vec::new();
+    if let Some(rules_path) = arg_flag::<String>("rules") {
+        check_rules_file(&rules_path, &mut errs);
+    }
     let bundles = parse_bundles(&text, &mut errs);
     if bundles.is_empty() {
         errs.push("no telemetry bundles found".into());

@@ -11,6 +11,8 @@
 //!
 //! Flags: `--scale <f>` (default 1/16), `--days <n>` (default 30),
 //! `--interval-mins <n>` sample interval (default 60),
+//! `--window-mins <n>` health-window width (default 1440 — one window
+//! per trace day; 0 disables the window/alert sections),
 //! `--events <n>` retained decision events per policy (default 4096),
 //! `--out <path>` (default `results/telemetry.jsonl`),
 //! `--time-decisions` to also fill the (unexported) latency histogram.
@@ -29,6 +31,7 @@ fn main() {
     let scale = Scale::from_args();
     let days = arg_days();
     let interval_mins: u64 = arg_flag("interval-mins").unwrap_or(60);
+    let window_mins: u64 = arg_flag("window-mins").unwrap_or(1440);
     let events: usize = arg_flag("events").unwrap_or(4096);
     let out: String = arg_flag("out").unwrap_or_else(|| "results/telemetry.jsonl".to_string());
     let time_decisions = arg_switch("time-decisions");
@@ -38,11 +41,13 @@ fn main() {
     let costs = CostModel::from_alpha(2.0).expect("valid alpha");
     let telemetry = TelemetryConfig::new()
         .with_sample_interval(DurationMs::from_secs(interval_mins * 60))
+        .with_window(DurationMs::from_secs(window_mins * 60))
         .with_event_capacity(events)
         .with_time_decisions(time_decisions);
     eprintln!(
         "[replay_observe] scale={} days={days} disk={disk} chunks, alpha=2, \
-         interval={interval_mins}min events={events} seed={EXPERIMENT_SEED}",
+         interval={interval_mins}min window={window_mins}min events={events} \
+         seed={EXPERIMENT_SEED}",
         scale.0
     );
 
@@ -68,6 +73,8 @@ fn main() {
         "policy",
         "efficiency",
         "samples",
+        "windows",
+        "alerts",
         "events",
         "dropped",
         "evictions",
@@ -83,6 +90,8 @@ fn main() {
             report.policy.to_string(),
             eff(report.efficiency()),
             bundle.series.len().to_string(),
+            bundle.windows.len().to_string(),
+            bundle.alerts.len().to_string(),
             bundle.events.len().to_string(),
             bundle.events_dropped.to_string(),
             evictions.to_string(),

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod scenario;
 pub mod telemetry;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

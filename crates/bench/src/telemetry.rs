@@ -2,10 +2,10 @@
 //! binaries (`obs_check`, `obs_report`).
 //!
 //! A telemetry file is one or more bundles; each bundle starts with a
-//! `"type":"meta"` line and is followed by its `metric`, `topk`, `sample`
-//! and `event` lines in that order. [`parse_bundles`] splits a document
-//! into [`BundleDoc`]s without validating semantics — the binaries layer
-//! their own checks on top.
+//! `"type":"meta"` line and is followed by its `metric`, `topk`,
+//! `window`, `alert`, `sample` and `event` lines in that order.
+//! [`parse_bundles`] splits a document into [`BundleDoc`]s without
+//! validating semantics — the binaries layer their own checks on top.
 
 use vcdn_types::json::{self, Json};
 
@@ -19,6 +19,10 @@ pub struct BundleDoc {
     pub metrics: Vec<Json>,
     /// `"type":"topk"` lines, shard-major then rank order.
     pub topk: Vec<Json>,
+    /// `"type":"window"` lines in window-index order.
+    pub windows: Vec<Json>,
+    /// `"type":"alert"` lines in window order.
+    pub alerts: Vec<Json>,
     /// `"type":"sample"` lines in time order.
     pub samples: Vec<Json>,
     /// `"type":"event"` lines in replay order.
@@ -84,6 +88,8 @@ pub fn parse_bundles(text: &str, errs: &mut Vec<String>) -> Vec<BundleDoc> {
                 meta: j,
                 metrics: Vec::new(),
                 topk: Vec::new(),
+                windows: Vec::new(),
+                alerts: Vec::new(),
                 samples: Vec::new(),
                 events: Vec::new(),
             }),
@@ -95,6 +101,8 @@ pub fn parse_bundles(text: &str, errs: &mut Vec<String>) -> Vec<BundleDoc> {
                 match kind {
                     "metric" => b.metrics.push(j),
                     "topk" => b.topk.push(j),
+                    "window" => b.windows.push(j),
+                    "alert" => b.alerts.push(j),
                     "sample" => b.samples.push(j),
                     "event" => b.events.push(j),
                     _ => errs.push(format!("line {}: unknown type {kind:?}", lineno + 1)),
@@ -111,9 +119,11 @@ mod tests {
     use super::*;
 
     const DOC: &str = "\
-{\"type\":\"meta\",\"schema\":\"vcdn-telemetry/1\",\"policy\":\"demo\",\"metrics\":1,\"topk\":1,\"samples\":0,\"events\":0,\"events_dropped\":0}\n\
+{\"type\":\"meta\",\"schema\":\"vcdn-telemetry/1\",\"policy\":\"demo\",\"metrics\":1,\"topk\":1,\"windows\":1,\"windows_dropped\":0,\"alerts\":1,\"samples\":0,\"events\":0,\"events_dropped\":0}\n\
 {\"type\":\"metric\",\"name\":\"demo.x\",\"kind\":\"counter\",\"value\":4}\n\
-{\"type\":\"topk\",\"shard\":0,\"rank\":1,\"video\":7,\"count\":3,\"err\":0}\n";
+{\"type\":\"topk\",\"shard\":0,\"rank\":1,\"video\":7,\"count\":3,\"err\":0}\n\
+{\"type\":\"window\",\"index\":0,\"hit_bytes\":80,\"fill_bytes\":0,\"redirect_bytes\":0,\"served_requests\":1,\"redirected_requests\":0,\"efficiency\":1.0,\"redirect_rate\":0.0,\"filled_chunks\":0,\"evicted_chunks\":0,\"max_stream_requests\":1,\"queue_gap_count\":0,\"queue_gap_sum\":0,\"queue_gap_p99\":0,\"request_chunks_p99\":0}\n\
+{\"type\":\"alert\",\"window\":0,\"rule\":\"demo-rule\",\"severity\":\"warning\",\"baseline\":0.9,\"observed\":0.5}\n";
 
     #[test]
     fn splits_sections_and_labels() {
@@ -125,7 +135,11 @@ mod tests {
         assert_eq!(b.label(), "demo");
         assert_eq!(b.metrics.len(), 1);
         assert_eq!(b.topk.len(), 1);
+        assert_eq!(b.windows.len(), 1);
+        assert_eq!(b.alerts.len(), 1);
         assert_eq!(b.meta_u64("topk"), Some(1));
+        assert_eq!(b.meta_u64("windows"), Some(1));
+        assert_eq!(b.meta_u64("alerts"), Some(1));
         assert_eq!(b.meta_str("schema"), Some("vcdn-telemetry/1"));
     }
 

@@ -1,20 +1,24 @@
 //! The telemetry bundle: one replay's observability output as JSONL.
 //!
 //! A bundle collects everything a replay observed — run metadata, the
-//! metric snapshots, the heavy-hitter top-K records, the time series and
-//! the retained decision events — and serialises it as one JSON object
-//! per line. Line order is fixed (meta, metrics in registration order,
-//! topk by shard then rank, samples in time order, events in replay
-//! order), and by default only deterministic metrics are included, so two
-//! identical replays produce byte-identical bundles regardless of worker
-//! count or machine. See `OBSERVABILITY.md` for the line-by-line schema.
+//! metric snapshots, the heavy-hitter top-K records, the health windows
+//! and watchdog alerts, the time series and the retained decision events
+//! — and serialises it as one JSON object per line. Line order is fixed
+//! (meta, metrics in registration order, topk by shard then rank,
+//! windows by index, alerts in window order, samples in time order,
+//! events in replay order), and by default only deterministic metrics
+//! are included, so two identical replays produce byte-identical bundles
+//! regardless of worker count or machine. See `OBSERVABILITY.md` for the
+//! line-by-line schema.
 
 use vcdn_types::json::{Json, ToJson};
 
+use crate::detect::AlertEvent;
 use crate::event::DecisionEvent;
 use crate::registry::MetricSnapshot;
 use crate::sampler::SeriesSample;
 use crate::topk::TopKRecord;
+use crate::window::WindowRecord;
 
 /// Schema tag written into every bundle's meta line.
 pub const SCHEMA: &str = "vcdn-telemetry/1";
@@ -49,6 +53,12 @@ pub struct TelemetryBundle {
     pub metrics: Vec<MetricSnapshot>,
     /// Heavy-hitter records, ordered by shard then rank.
     pub topk: Vec<TopKRecord>,
+    /// Health windows in index order (merged across shards).
+    pub windows: Vec<WindowRecord>,
+    /// Watchdog alerts in window order.
+    pub alerts: Vec<AlertEvent>,
+    /// Closed windows the bounded ring evicted before export.
+    pub windows_dropped: u64,
     /// Time series in time order.
     pub series: Vec<SeriesSample>,
     /// Retained decision events in replay order.
@@ -78,6 +88,12 @@ impl TelemetryBundle {
         fields.extend(self.meta.iter().cloned());
         fields.push(("metrics".into(), Json::Int(self.metrics.len() as i128)));
         fields.push(("topk".into(), Json::Int(self.topk.len() as i128)));
+        fields.push(("windows".into(), Json::Int(self.windows.len() as i128)));
+        fields.push((
+            "windows_dropped".into(),
+            Json::Int(self.windows_dropped as i128),
+        ));
+        fields.push(("alerts".into(), Json::Int(self.alerts.len() as i128)));
         fields.push(("samples".into(), Json::Int(self.series.len() as i128)));
         fields.push(("events".into(), Json::Int(self.events.len() as i128)));
         fields.push((
@@ -88,7 +104,8 @@ impl TelemetryBundle {
     }
 
     /// Serialises the bundle: one JSON object per line, trailing newline,
-    /// fixed order (meta, metrics, topk, samples, events).
+    /// fixed order (meta, metrics, topk, windows, alerts, samples,
+    /// events).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         out.push_str(&self.meta_json().to_string());
@@ -99,6 +116,14 @@ impl TelemetryBundle {
         }
         for record in &self.topk {
             out.push_str(&record.to_json().to_string());
+            out.push('\n');
+        }
+        for window in &self.windows {
+            out.push_str(&window.to_json().to_string());
+            out.push('\n');
+        }
+        for alert in &self.alerts {
+            out.push_str(&alert.to_json().to_string());
             out.push('\n');
         }
         for sample in &self.series {
@@ -138,6 +163,21 @@ mod tests {
             count: 6,
             err: 2,
         });
+        let mut w = crate::window::WindowStats::empty(0);
+        w.traffic.record_hit(80);
+        w.traffic.served_requests += 1;
+        w.max_stream_requests = 1;
+        bundle.windows.push(WindowRecord::from_stats(
+            &w,
+            vcdn_types::CostModel::balanced(),
+        ));
+        bundle.alerts.push(AlertEvent {
+            window: 0,
+            rule: "demo-rule".into(),
+            severity: crate::detect::Severity::Warning,
+            baseline: 0.9,
+            observed: 0.5,
+        });
         bundle.events.push(DecisionEvent {
             seq: 0,
             t_ms: 10,
@@ -161,7 +201,7 @@ mod tests {
     fn every_line_parses_and_order_is_fixed() {
         let jsonl = tiny_bundle().to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 7);
         let types: Vec<String> = lines
             .iter()
             .map(|l| {
@@ -173,7 +213,10 @@ mod tests {
                     .to_string()
             })
             .collect();
-        assert_eq!(types, vec!["meta", "metric", "metric", "topk", "event"]);
+        assert_eq!(
+            types,
+            vec!["meta", "metric", "metric", "topk", "window", "alert", "event"]
+        );
     }
 
     #[test]
@@ -184,6 +227,9 @@ mod tests {
         assert_eq!(meta.get("policy").and_then(Json::as_str), Some("demo"));
         assert_eq!(meta.get("metrics"), Some(&Json::Int(2)));
         assert_eq!(meta.get("topk"), Some(&Json::Int(1)));
+        assert_eq!(meta.get("windows"), Some(&Json::Int(1)));
+        assert_eq!(meta.get("windows_dropped"), Some(&Json::Int(0)));
+        assert_eq!(meta.get("alerts"), Some(&Json::Int(1)));
         assert_eq!(meta.get("events"), Some(&Json::Int(1)));
         assert_eq!(meta.get("events_dropped"), Some(&Json::Int(0)));
     }

@@ -83,6 +83,34 @@ impl_json_struct!(HistogramSnapshot {
 });
 
 impl HistogramSnapshot {
+    /// Bins one value directly into the snapshot, allocating the fixed
+    /// [`BUCKETS`] layout on first use. This is the single-threaded
+    /// sketch path (window accumulation); the atomic path lives in
+    /// [`crate::MetricsRegistry`].
+    pub fn observe(&mut self, value: u64) {
+        if self.buckets.len() < BUCKETS {
+            self.buckets.resize(BUCKETS, 0);
+        }
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Folds `other` into `self` bucket-wise. Sketch merging is a
+    /// commutative monoid (element-wise sums), which is what makes
+    /// per-shard window sketches fold into engine-level ones in any
+    /// order. Handles the `Default` empty-bucket form on either side.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (into, &from) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *into += from;
+        }
+    }
+
     /// Mean observed value, or `0.0` with no samples.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -143,6 +171,29 @@ mod tests {
         let h = HistogramSnapshot::default();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn observe_and_merge_agree_with_direct_binning() {
+        let mut a = HistogramSnapshot::default();
+        let mut b = HistogramSnapshot::default();
+        for v in [1u64, 2, 3] {
+            a.observe(v);
+        }
+        for v in [100u64, 1000] {
+            b.observe(v);
+        }
+        // Merging into a Default (empty-bucket) snapshot must also work.
+        let mut merged = HistogramSnapshot::default();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let mut direct = HistogramSnapshot::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            direct.observe(v);
+        }
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.sum, 1106);
     }
 
     #[test]

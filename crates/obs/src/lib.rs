@@ -21,6 +21,10 @@
 //! * **Heavy hitters** — a per-shard Space-Saving top-K sketch
 //!   ([`topk::SpaceSaving`]) surfacing the hottest videos with certified
 //!   error bounds, deterministically tie-broken.
+//! * **Health windows** — tumbling windows on the logical trace clock
+//!   ([`window`]) holding per-window counter deltas and mergeable sketch
+//!   snapshots in a bounded ring, with a deterministic rules-file-driven
+//!   watchdog ([`detect`]) evaluating each window as it closes.
 //!
 //! A [`TelemetryBundle`] gathers all of it into a deterministic JSONL
 //! document (see `OBSERVABILITY.md` for the schema). Everything here
@@ -29,6 +33,7 @@
 #![deny(missing_docs)]
 
 mod bundle;
+pub mod detect;
 mod event;
 pub mod histogram;
 mod policy_obs;
@@ -36,8 +41,13 @@ mod registry;
 mod sampler;
 pub mod span;
 pub mod topk;
+pub mod window;
 
 pub use bundle::{TelemetryBundle, SCHEMA};
+pub use detect::{
+    default_rules, parse_rules, render_alert_log, render_rules, AlertEvent, Rule, Severity,
+    Watchdog, DEFAULT_RULES_TEXT,
+};
 pub use event::{DecisionDetail, DecisionEvent, EventRing, Verdict};
 pub use histogram::HistogramSnapshot;
 pub use policy_obs::PolicyObs;
@@ -45,3 +55,4 @@ pub use registry::{MetricId, MetricKind, MetricSnapshot, MetricsRegistry, Metric
 pub use sampler::{ReplaySampler, SeriesSample};
 pub use span::{DispatchSpans, ShardSpans, SpanStage, WorkerTimings};
 pub use topk::{SpaceSaving, TopKEntry, TopKRecord};
+pub use window::{merge_windows, WindowInput, WindowRecord, WindowRing, WindowStats};

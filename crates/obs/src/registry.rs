@@ -165,9 +165,12 @@ struct Names {
 /// The concrete sink: a fixed-capacity table of atomic slots.
 ///
 /// Capacity is fixed at construction so the hot path indexes a stable
-/// allocation without any lock; [`MetricsSink::register`] panics if the
-/// capacity is exhausted (size the registry generously — a slot is a few
-/// hundred bytes).
+/// allocation without any lock. A full registry degrades gracefully:
+/// [`MetricsSink::register`] returns [`MetricId::NOOP`] (updates land in
+/// the slot-0 sink-hole) and bumps an overflow count that
+/// [`MetricsRegistry::snapshot`] surfaces as a synthetic
+/// `obs.registry_overflow` counter — observability loses a metric, the
+/// replay never dies, and the loss itself is observable.
 ///
 /// # Examples
 ///
@@ -189,6 +192,8 @@ pub struct MetricsRegistry {
     names: Mutex<Names>,
     /// Live slot count, including the reserved slot 0.
     len: AtomicUsize,
+    /// Registrations refused because every slot was taken.
+    overflow: AtomicU64,
 }
 
 /// Default capacity: far above what one replay (a few dozen metrics) or
@@ -232,7 +237,15 @@ impl MetricsRegistry {
                 entries: Vec::new(),
             }),
             len: AtomicUsize::new(1),
+            overflow: AtomicU64::new(0),
         }
+    }
+
+    /// Registrations refused because the registry was full. Also exported
+    /// by [`MetricsRegistry::snapshot`] as the synthetic
+    /// `obs.registry_overflow` counter whenever nonzero.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Acquire)
     }
 
     /// Number of registered metrics.
@@ -256,10 +269,13 @@ impl MetricsRegistry {
 
     /// Exports every metric in registration order. With
     /// `deterministic_only`, wall-clock timing histograms are skipped so
-    /// the result is byte-identical across identical replays.
+    /// the result is byte-identical across identical replays. If any
+    /// registration was refused by a full registry, a synthetic
+    /// `obs.registry_overflow` counter is appended so the loss is visible
+    /// in every export.
     pub fn snapshot(&self, deterministic_only: bool) -> Vec<MetricSnapshot> {
         let names = self.names.lock().expect("registry mutex poisoned");
-        names
+        let mut out: Vec<MetricSnapshot> = names
             .entries
             .iter()
             .enumerate()
@@ -288,7 +304,18 @@ impl MetricsRegistry {
                     histogram,
                 }
             })
-            .collect()
+            .collect();
+        let refused = self.overflow.load(Ordering::Acquire);
+        if refused > 0 {
+            out.push(MetricSnapshot {
+                name: "obs.registry_overflow".to_string(),
+                kind: MetricKind::Counter,
+                value: refused,
+                sum: 0,
+                histogram: None,
+            });
+        }
+        out
     }
 }
 
@@ -322,11 +349,14 @@ impl MetricsSink for MetricsRegistry {
             return MetricId(i as u32 + 1);
         }
         let next = self.len.load(Ordering::Acquire);
-        assert!(
-            next < self.slots.len(),
-            "metrics registry capacity ({}) exhausted registering `{name}`",
-            self.slots.len() - 1
-        );
+        if next >= self.slots.len() {
+            // Graceful exhaustion: refuse the slot, count the refusal
+            // (surfaced as `obs.registry_overflow` in snapshots), and hand
+            // back the sink-hole id so the caller's updates are ignored
+            // rather than crashing the replay.
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return MetricId::NOOP;
+        }
         names.entries.push((name.to_string(), kind));
         // Publish the new slot only after the metadata exists; readers
         // acquire-load `len`, so they never see a slot without its name.
@@ -449,11 +479,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn capacity_exhaustion_panics() {
+    fn capacity_exhaustion_degrades_to_noop_and_counts_overflow() {
         let reg = MetricsRegistry::with_capacity(1);
+        let a = reg.register("a", MetricKind::Counter);
+        assert_ne!(a, MetricId::NOOP);
+        // Registry is full: refused registrations return the sink-hole id.
+        let b = reg.register("b", MetricKind::Counter);
+        let c = reg.register("c", MetricKind::Histogram);
+        assert_eq!(b, MetricId::NOOP);
+        assert_eq!(c, MetricId::NOOP);
+        assert_eq!(reg.overflow(), 2);
+        // Updates through the refused ids are ignored, never UB or panic.
+        reg.counter_add(b, 100);
+        reg.observe(c, 7);
+        reg.counter_add(a, 1);
+        // Re-registering an existing name still works while full.
+        assert_eq!(reg.register("a", MetricKind::Counter), a);
+        assert_eq!(reg.overflow(), 2);
+        // The loss is visible: snapshots append obs.registry_overflow.
+        let snap = reg.snapshot(true);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a");
+        assert_eq!(snap[0].value, 1);
+        assert_eq!(snap[1].name, "obs.registry_overflow");
+        assert_eq!(snap[1].kind, MetricKind::Counter);
+        assert_eq!(snap[1].value, 2);
+    }
+
+    #[test]
+    fn snapshot_has_no_overflow_entry_when_nothing_was_refused() {
+        let reg = MetricsRegistry::new();
         reg.register("a", MetricKind::Counter);
-        reg.register("b", MetricKind::Counter);
+        let snap = reg.snapshot(true);
+        assert!(snap.iter().all(|m| m.name != "obs.registry_overflow"));
     }
 
     #[test]

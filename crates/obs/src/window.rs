@@ -1,0 +1,662 @@
+//! Tumbling telemetry windows on the logical trace clock, with mergeable
+//! per-window sketches in a bounded ring.
+//!
+//! The sampler ([`crate::ReplaySampler`]) answers "what did the whole run
+//! look like over time"; the *window plane* answers the operator's
+//! question: "is the cache healthy **right now**" — per-window traffic
+//! deltas, Eq. 2 interval efficiency, and log-bucketed sketch snapshots
+//! that a watchdog ([`crate::detect`]) can evaluate the moment a window
+//! closes. Three properties drive the design:
+//!
+//! * **Logical clock.** Windows tumble on *trace time* (default one hour
+//!   of trace time), never wall-clock, so the whole plane is a pure
+//!   function of the input stream — byte-identical across machines,
+//!   threads and worker counts.
+//! * **Mergeable.** Every field of a [`WindowStats`] is a commutative
+//!   monoid under [`WindowStats::merge`] (sums for counters and
+//!   bucket-wise sums for the log-bucketed [`HistogramSnapshot`] sketches,
+//!   `max` for the per-stream peak), so per-shard windows fold into
+//!   engine-level windows associatively and order-invariantly — the
+//!   sharded engine merges at any worker count and gets the same bytes.
+//! * **Bounded.** A [`WindowRing`] retains only the last `retain` closed
+//!   windows; a month-long replay holds ~720 hourly windows and the ring
+//!   never grows past its bound (evictions are counted in
+//!   [`WindowRing::dropped`]). Detectors run *at close time*, before a
+//!   window can be evicted, so bounded memory never loses an alert.
+//!
+//! Conservation invariant (pinned by `prop_window.rs` and `obs_check`):
+//! the sum of all window traffic deltas — closed, dropped and open —
+//! equals the ring's cumulative [`TrafficCounter`].
+
+use std::collections::VecDeque;
+
+use vcdn_types::json::{Json, ToJson};
+use vcdn_types::{CostModel, TrafficCounter};
+
+use crate::histogram::HistogramSnapshot;
+
+/// One tumbling window's mergeable payload: counter deltas plus sketch
+/// snapshots, all pure functions of the requests that fell inside the
+/// window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Window index: the window covers trace time
+    /// `[index·width, (index+1)·width)`.
+    pub index: u64,
+    /// Traffic served within this window alone (the per-window delta).
+    pub traffic: TrafficCounter,
+    /// Chunks written to disk (cache fills) within the window.
+    pub filled_chunks: u64,
+    /// Chunks evicted from disk within the window.
+    pub evicted_chunks: u64,
+    /// The largest single-stream request count merged into this window:
+    /// for a one-producer ring it equals the window's own request count;
+    /// merged across shards it is the hottest shard's count (merge takes
+    /// the `max`), which makes per-window skew computable after the fold.
+    pub max_stream_requests: u64,
+    /// Log-bucketed sketch of the logical queue gap (dispatch ticks
+    /// between consecutive arrivals at this stream); empty for unsharded
+    /// replays.
+    pub queue_gap: HistogramSnapshot,
+    /// Log-bucketed sketch of request sizes in chunks.
+    pub request_chunks: HistogramSnapshot,
+}
+
+impl WindowStats {
+    /// An empty window at `index`.
+    pub fn empty(index: u64) -> WindowStats {
+        WindowStats {
+            index,
+            ..WindowStats::default()
+        }
+    }
+
+    /// Whether the window saw no traffic and no sketch observations.
+    pub fn is_empty(&self) -> bool {
+        self.traffic.total_requests() == 0
+            && self.filled_chunks == 0
+            && self.evicted_chunks == 0
+            && self.queue_gap.count == 0
+            && self.request_chunks.count == 0
+    }
+
+    /// Folds `other` into `self`. Every field is a commutative monoid
+    /// (sums, bucket-wise histogram sums, `max` for the stream peak), so
+    /// merging is associative and order-invariant — the property
+    /// `prop_window.rs` pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window indices differ (merging is per-index).
+    pub fn merge(&mut self, other: &WindowStats) {
+        assert_eq!(
+            self.index, other.index,
+            "window merge requires equal indices"
+        );
+        self.traffic += other.traffic;
+        self.filled_chunks += other.filled_chunks;
+        self.evicted_chunks += other.evicted_chunks;
+        self.max_stream_requests = self.max_stream_requests.max(other.max_stream_requests);
+        self.queue_gap.merge_from(&other.queue_gap);
+        self.request_chunks.merge_from(&other.request_chunks);
+    }
+
+    /// Eq. 2 efficiency over this window's traffic alone (`0.0` for an
+    /// empty window — the zero-request guard, not `NaN`).
+    pub fn efficiency(&self, costs: CostModel) -> f64 {
+        self.traffic.efficiency(costs)
+    }
+
+    /// Fraction of the window's requested bytes that were redirected
+    /// (`0.0` for an empty window).
+    pub fn redirect_rate(&self) -> f64 {
+        let total = self.traffic.requested_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.traffic.redirect_bytes as f64 / total as f64
+        }
+    }
+
+    /// Disk churn within the window: chunks written plus chunks evicted —
+    /// the "how hard is the disk working for its hits" signal the
+    /// occupancy-churn watchdog rule thresholds.
+    pub fn churn_chunks(&self) -> u64 {
+        self.filled_chunks + self.evicted_chunks
+    }
+
+    /// Shard-imbalance within the window: `max/mean × 1000` over `streams`
+    /// request streams (1000 = perfectly balanced; meaningful after an
+    /// engine-level merge, and identically 1000 for a single stream).
+    /// Returns 1000 for an empty window.
+    pub fn skew_x1000(&self, streams: u64) -> u64 {
+        let total = self.traffic.total_requests();
+        if total == 0 || streams == 0 {
+            1000
+        } else {
+            (self.max_stream_requests as u128 * 1000 * streams as u128 / total as u128) as u64
+        }
+    }
+}
+
+/// One exported window line of a `vcdn-telemetry/1` bundle: a
+/// [`WindowStats`] flattened against a cost model, with the sketches
+/// reduced to deterministic summary statistics. Serialises as
+/// `{"type":"window","index":…,…}`; the window width lives in the
+/// bundle's meta line (`window_ms`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRecord {
+    /// Window index (start = `index · window_ms`).
+    pub index: u64,
+    /// Bytes served from cache within the window.
+    pub hit_bytes: u64,
+    /// Bytes cache-filled within the window.
+    pub fill_bytes: u64,
+    /// Bytes redirected within the window.
+    pub redirect_bytes: u64,
+    /// Requests served within the window.
+    pub served_requests: u64,
+    /// Requests redirected within the window.
+    pub redirected_requests: u64,
+    /// Eq. 2 interval efficiency (0.0 for an empty window).
+    pub efficiency: f64,
+    /// Redirected fraction of requested bytes (0.0 for an empty window).
+    pub redirect_rate: f64,
+    /// Chunks filled within the window.
+    pub filled_chunks: u64,
+    /// Chunks evicted within the window.
+    pub evicted_chunks: u64,
+    /// Hottest single stream's request count (see
+    /// [`WindowStats::max_stream_requests`]).
+    pub max_stream_requests: u64,
+    /// Queue-gap sketch sample count (0 for unsharded replays).
+    pub queue_gap_count: u64,
+    /// Queue-gap sketch sample sum.
+    pub queue_gap_sum: u64,
+    /// Upper bound on the queue-gap p99 (log-bucket edge).
+    pub queue_gap_p99: u64,
+    /// Upper bound on the request-size p99, in chunks.
+    pub request_chunks_p99: u64,
+}
+
+impl WindowRecord {
+    /// Flattens a window against `costs` into its export form.
+    pub fn from_stats(w: &WindowStats, costs: CostModel) -> WindowRecord {
+        WindowRecord {
+            index: w.index,
+            hit_bytes: w.traffic.hit_bytes,
+            fill_bytes: w.traffic.fill_bytes,
+            redirect_bytes: w.traffic.redirect_bytes,
+            served_requests: w.traffic.served_requests,
+            redirected_requests: w.traffic.redirected_requests,
+            efficiency: w.efficiency(costs),
+            redirect_rate: w.redirect_rate(),
+            filled_chunks: w.filled_chunks,
+            evicted_chunks: w.evicted_chunks,
+            max_stream_requests: w.max_stream_requests,
+            queue_gap_count: w.queue_gap.count,
+            queue_gap_sum: w.queue_gap.sum,
+            queue_gap_p99: w.queue_gap.quantile_upper_bound(0.99),
+            request_chunks_p99: w.request_chunks.quantile_upper_bound(0.99),
+        }
+    }
+}
+
+impl ToJson for WindowRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("window".into())),
+            ("index".into(), Json::Int(self.index as i128)),
+            ("hit_bytes".into(), Json::Int(self.hit_bytes as i128)),
+            ("fill_bytes".into(), Json::Int(self.fill_bytes as i128)),
+            (
+                "redirect_bytes".into(),
+                Json::Int(self.redirect_bytes as i128),
+            ),
+            (
+                "served_requests".into(),
+                Json::Int(self.served_requests as i128),
+            ),
+            (
+                "redirected_requests".into(),
+                Json::Int(self.redirected_requests as i128),
+            ),
+            ("efficiency".into(), Json::Float(self.efficiency)),
+            ("redirect_rate".into(), Json::Float(self.redirect_rate)),
+            (
+                "filled_chunks".into(),
+                Json::Int(self.filled_chunks as i128),
+            ),
+            (
+                "evicted_chunks".into(),
+                Json::Int(self.evicted_chunks as i128),
+            ),
+            (
+                "max_stream_requests".into(),
+                Json::Int(self.max_stream_requests as i128),
+            ),
+            (
+                "queue_gap_count".into(),
+                Json::Int(self.queue_gap_count as i128),
+            ),
+            (
+                "queue_gap_sum".into(),
+                Json::Int(self.queue_gap_sum as i128),
+            ),
+            (
+                "queue_gap_p99".into(),
+                Json::Int(self.queue_gap_p99 as i128),
+            ),
+            (
+                "request_chunks_p99".into(),
+                Json::Int(self.request_chunks_p99 as i128),
+            ),
+        ])
+    }
+}
+
+/// One decided request's contribution to the open window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowInput {
+    /// The request's trace time in ms (non-decreasing across records).
+    pub t_ms: u64,
+    /// Bytes served from cache.
+    pub hit_bytes: u64,
+    /// Bytes cache-filled.
+    pub fill_bytes: u64,
+    /// Bytes redirected (a nonzero value counts the request as
+    /// redirected; zero counts it as served, matching the replay
+    /// accounting).
+    pub redirect_bytes: u64,
+    /// Chunks written to disk by this decision.
+    pub filled_chunks: u64,
+    /// Chunks evicted by this decision.
+    pub evicted_chunks: u64,
+    /// Request size in chunks (fed to the request-size sketch).
+    pub request_chunks: u64,
+    /// Logical queue gap in dispatch ticks, when a dispatcher exists
+    /// (`None` for unsharded replays — the gap sketch stays empty).
+    pub queue_gap: Option<u64>,
+}
+
+/// Accumulates per-request deltas into tumbling windows of trace time,
+/// retaining a bounded ring of closed windows.
+///
+/// Feed every decided request through [`WindowRing::record`]; each window
+/// that closes is handed to the `on_close` callback *before* entering the
+/// ring (this is where a [`crate::detect::Watchdog`] evaluates it), so
+/// detection is streaming and unaffected by ring eviction. Call
+/// [`WindowRing::finish`] after the run to flush the open window, or
+/// [`WindowRing::snapshot_windows`] for a non-destructive view (closed
+/// windows plus the open one) — what the sharded engine merges at report
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use vcdn_obs::window::{WindowInput, WindowRing};
+///
+/// let mut ring = WindowRing::new(1_000, 16);
+/// let mut closed = Vec::new();
+/// for t in [100u64, 2_500] {
+///     ring.record(
+///         &WindowInput {
+///             t_ms: t,
+///             hit_bytes: 80,
+///             request_chunks: 1,
+///             ..WindowInput::default()
+///         },
+///         &mut |w| closed.push(w.clone()),
+///     );
+/// }
+/// ring.finish(&mut |w| closed.push(w.clone()));
+/// // Windows [0,1s) [1s,2s) [2s,3s): the middle one is empty.
+/// assert_eq!(closed.len(), 3);
+/// assert!(closed[1].is_empty());
+/// assert_eq!(closed[2].traffic.hit_bytes, 80);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    width_ms: u64,
+    retain: usize,
+    open: WindowStats,
+    open_dirty: bool,
+    closed: VecDeque<WindowStats>,
+    dropped: u64,
+    cum: TrafficCounter,
+    saw_request: bool,
+}
+
+impl WindowRing {
+    /// Creates a ring of `width_ms`-wide tumbling windows retaining the
+    /// last `retain` closed windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_ms == 0` or `retain == 0`.
+    pub fn new(width_ms: u64, retain: usize) -> WindowRing {
+        assert!(width_ms > 0, "window width must be > 0");
+        assert!(retain > 0, "window ring must retain at least one window");
+        WindowRing {
+            width_ms,
+            retain,
+            open: WindowStats::empty(0),
+            open_dirty: false,
+            closed: VecDeque::new(),
+            dropped: 0,
+            cum: TrafficCounter::default(),
+            saw_request: false,
+        }
+    }
+
+    /// The configured window width (ms of trace time).
+    pub fn width_ms(&self) -> u64 {
+        self.width_ms
+    }
+
+    /// The ring bound: closed windows retained.
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    /// Closed windows evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Cumulative traffic over every record fed to the ring — the
+    /// conservation target: it equals the sum of all window deltas
+    /// (closed, dropped and open).
+    pub fn cum(&self) -> TrafficCounter {
+        self.cum
+    }
+
+    /// The retained closed windows, oldest first.
+    pub fn closed_windows(&self) -> impl Iterator<Item = &WindowStats> {
+        self.closed.iter()
+    }
+
+    fn close_open(&mut self, on_close: &mut dyn FnMut(&WindowStats)) {
+        let next = WindowStats::empty(self.open.index + 1);
+        let done = std::mem::replace(&mut self.open, next);
+        on_close(&done);
+        self.closed.push_back(done);
+        if self.closed.len() > self.retain {
+            self.closed.pop_front();
+            self.dropped += 1;
+        }
+        self.open_dirty = false;
+    }
+
+    /// Records one decided request, closing (and reporting via `on_close`)
+    /// every window that ended before `input.t_ms` — including empty ones,
+    /// so the window grid is complete and evenly spaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.t_ms` falls before the open window's start (trace
+    /// time is non-decreasing).
+    pub fn record(&mut self, input: &WindowInput, on_close: &mut dyn FnMut(&WindowStats)) {
+        let open_start = self.open.index * self.width_ms;
+        assert!(
+            input.t_ms >= open_start,
+            "window ring fed out of order: t={}ms before window start {}ms",
+            input.t_ms,
+            open_start
+        );
+        self.saw_request = true;
+        while input.t_ms >= (self.open.index + 1) * self.width_ms {
+            self.close_open(on_close);
+        }
+        let w = &mut self.open;
+        w.traffic.record_hit(input.hit_bytes);
+        w.traffic.record_fill(input.fill_bytes);
+        w.traffic.record_redirect(input.redirect_bytes);
+        self.cum.record_hit(input.hit_bytes);
+        self.cum.record_fill(input.fill_bytes);
+        self.cum.record_redirect(input.redirect_bytes);
+        if input.redirect_bytes > 0 {
+            w.traffic.redirected_requests += 1;
+            self.cum.redirected_requests += 1;
+        } else {
+            w.traffic.served_requests += 1;
+            self.cum.served_requests += 1;
+        }
+        w.filled_chunks += input.filled_chunks;
+        w.evicted_chunks += input.evicted_chunks;
+        w.max_stream_requests = w.traffic.total_requests();
+        w.request_chunks.observe(input.request_chunks);
+        if let Some(gap) = input.queue_gap {
+            w.queue_gap.observe(gap);
+        }
+        self.open_dirty = true;
+    }
+
+    /// Flushes the open window (if it saw any record since the last
+    /// close) through `on_close` into the ring. Call once at end of run;
+    /// an entirely unfed ring flushes nothing.
+    pub fn finish(&mut self, on_close: &mut dyn FnMut(&WindowStats)) {
+        if self.saw_request && self.open_dirty {
+            self.close_open(on_close);
+        }
+    }
+
+    /// A non-destructive view of the ring: the retained closed windows
+    /// plus the open window if it holds data. The engine merges these
+    /// snapshots across shards at report time, leaving each ring intact
+    /// for warm continuation.
+    pub fn snapshot_windows(&self) -> Vec<WindowStats> {
+        let mut out: Vec<WindowStats> = self.closed.iter().cloned().collect();
+        if self.open_dirty {
+            out.push(self.open.clone());
+        }
+        out
+    }
+}
+
+/// Folds per-producer window sets into one set keyed by window index,
+/// filling index gaps with empty windows so the result is a contiguous
+/// grid from the smallest to the largest index seen. Because
+/// [`WindowStats::merge`] is commutative and associative, the result is
+/// invariant to the order of `sets` and to how producers were grouped —
+/// per-shard windows fold into engine windows identically at any worker
+/// count.
+pub fn merge_windows(sets: &[Vec<WindowStats>]) -> Vec<WindowStats> {
+    let mut by_index: std::collections::BTreeMap<u64, WindowStats> =
+        std::collections::BTreeMap::new();
+    for set in sets {
+        for w in set {
+            by_index
+                .entry(w.index)
+                .and_modify(|acc| acc.merge(w))
+                .or_insert_with(|| w.clone());
+        }
+    }
+    let Some((&lo, _)) = by_index.iter().next() else {
+        return Vec::new();
+    };
+    let (&hi, _) = by_index
+        .iter()
+        .next_back()
+        .unwrap_or((&lo, &WindowStats::empty(lo)));
+    (lo..=hi)
+        .map(|i| by_index.remove(&i).unwrap_or_else(|| WindowStats::empty(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(ring: &mut WindowRing, t_ms: u64, hit: u64, red: u64) {
+        ring.record(
+            &WindowInput {
+                t_ms,
+                hit_bytes: hit,
+                redirect_bytes: red,
+                request_chunks: 1,
+                ..WindowInput::default()
+            },
+            &mut |_| {},
+        );
+    }
+
+    #[test]
+    fn windows_tumble_on_the_trace_clock() {
+        let mut ring = WindowRing::new(100, 8);
+        feed(&mut ring, 10, 5, 0);
+        feed(&mut ring, 120, 0, 7);
+        feed(&mut ring, 450, 3, 0);
+        ring.finish(&mut |_| {});
+        let w: Vec<WindowStats> = ring.snapshot_windows();
+        let starts: Vec<u64> = w.iter().map(|x| x.index).collect();
+        assert_eq!(starts, vec![0, 1, 2, 3, 4]);
+        assert_eq!(w[0].traffic.hit_bytes, 5);
+        assert_eq!(w[1].traffic.redirect_bytes, 7);
+        assert!(w[2].is_empty() && w[3].is_empty());
+        assert_eq!(w[4].traffic.hit_bytes, 3);
+    }
+
+    #[test]
+    fn on_close_sees_every_window_before_ring_eviction() {
+        let mut ring = WindowRing::new(10, 2);
+        let mut seen = Vec::new();
+        for t in (0..70).step_by(10) {
+            ring.record(
+                &WindowInput {
+                    t_ms: t,
+                    hit_bytes: 1,
+                    request_chunks: 1,
+                    ..WindowInput::default()
+                },
+                &mut |w| seen.push(w.index),
+            );
+        }
+        ring.finish(&mut |w| seen.push(w.index));
+        // All 7 windows reported to the callback, ring keeps only 2.
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(ring.closed_windows().count(), 2);
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn conservation_sum_of_deltas_equals_cum() {
+        let mut ring = WindowRing::new(50, 3);
+        let mut dropped_plus_closed = TrafficCounter::default();
+        for t in 0..40u64 {
+            ring.record(
+                &WindowInput {
+                    t_ms: t * 31,
+                    hit_bytes: t,
+                    redirect_bytes: u64::from(t % 5 == 0) * 9,
+                    request_chunks: 1,
+                    ..WindowInput::default()
+                },
+                &mut |w| dropped_plus_closed += w.traffic,
+            );
+        }
+        ring.finish(&mut |w| dropped_plus_closed += w.traffic);
+        assert_eq!(dropped_plus_closed, ring.cum());
+    }
+
+    #[test]
+    fn merge_is_order_invariant_and_fills_gaps() {
+        let mut a = WindowStats::empty(2);
+        a.traffic.record_hit(10);
+        a.traffic.served_requests += 1;
+        a.max_stream_requests = 1;
+        a.queue_gap.observe(4);
+        let mut b = WindowStats::empty(4);
+        b.traffic.record_fill(3);
+        b.traffic.served_requests += 1;
+        b.max_stream_requests = 1;
+        let ab = merge_windows(&[vec![a.clone()], vec![b.clone()]]);
+        let ba = merge_windows(&[vec![b], vec![a]]);
+        assert_eq!(ab, ba);
+        let idx: Vec<u64> = ab.iter().map(|w| w.index).collect();
+        assert_eq!(idx, vec![2, 3, 4]);
+        assert!(ab[1].is_empty());
+    }
+
+    #[test]
+    fn merge_same_index_sums_and_maxes() {
+        let mut a = WindowStats::empty(7);
+        a.traffic.record_hit(10);
+        a.traffic.served_requests += 3;
+        a.max_stream_requests = 3;
+        a.filled_chunks = 2;
+        a.queue_gap.observe(8);
+        let mut b = WindowStats::empty(7);
+        b.traffic.record_redirect(6);
+        b.traffic.redirected_requests += 1;
+        b.max_stream_requests = 1;
+        b.evicted_chunks = 5;
+        b.queue_gap.observe(8);
+        a.merge(&b);
+        assert_eq!(a.traffic.hit_bytes, 10);
+        assert_eq!(a.traffic.redirect_bytes, 6);
+        assert_eq!(a.traffic.total_requests(), 4);
+        assert_eq!(a.max_stream_requests, 3);
+        assert_eq!(a.churn_chunks(), 7);
+        assert_eq!(a.queue_gap.count, 2);
+        assert_eq!(a.queue_gap.sum, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal indices")]
+    fn merge_rejects_index_mismatch() {
+        let mut a = WindowStats::empty(1);
+        a.merge(&WindowStats::empty(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn time_reversal_is_rejected() {
+        let mut ring = WindowRing::new(100, 4);
+        feed(&mut ring, 500, 1, 0);
+        feed(&mut ring, 10, 1, 0);
+    }
+
+    #[test]
+    fn skew_and_rates_have_zero_guards() {
+        let w = WindowStats::empty(0);
+        assert_eq!(w.skew_x1000(4), 1000);
+        assert_eq!(w.redirect_rate(), 0.0);
+        assert_eq!(w.efficiency(CostModel::balanced()), 0.0);
+        let mut hot = WindowStats::empty(0);
+        hot.traffic.served_requests = 4;
+        hot.max_stream_requests = 2;
+        // max/mean over 4 streams: 2 / (4/4) = 2 → 2000.
+        assert_eq!(hot.skew_x1000(4), 2000);
+    }
+
+    #[test]
+    fn record_json_shape() {
+        let mut w = WindowStats::empty(3);
+        w.traffic.record_hit(100);
+        w.traffic.served_requests += 1;
+        w.max_stream_requests = 1;
+        w.request_chunks.observe(2);
+        let rec = WindowRecord::from_stats(&w, CostModel::balanced());
+        let j = rec.to_json().to_string();
+        let parsed = vcdn_types::json::parse(&j).unwrap();
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("window"));
+        assert_eq!(parsed.get("index"), Some(&Json::Int(3)));
+        assert_eq!(parsed.get("hit_bytes"), Some(&Json::Int(100)));
+        assert_eq!(parsed.get("efficiency"), Some(&Json::Float(1.0)));
+        assert_eq!(parsed.get("queue_gap_count"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn snapshot_includes_open_window_without_disturbing_it() {
+        let mut ring = WindowRing::new(1_000, 4);
+        feed(&mut ring, 100, 10, 0);
+        let snap = ring.snapshot_windows();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].traffic.hit_bytes, 10);
+        // Continue feeding the same open window.
+        feed(&mut ring, 200, 5, 0);
+        let snap = ring.snapshot_windows();
+        assert_eq!(snap[0].traffic.hit_bytes, 15);
+    }
+}

@@ -58,9 +58,12 @@ use std::time::Instant;
 
 use vcdn_obs::span::{DispatchSpans, ShardSpans, WorkerTimings};
 use vcdn_obs::topk::{SpaceSaving, TopKEntry, TopKRecord};
+use vcdn_obs::window::{merge_windows, WindowInput, WindowRecord, WindowRing, WindowStats};
 
 use vcdn_core::{CacheConfig, CachePolicy};
-use vcdn_obs::{MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs, TelemetryBundle};
+use vcdn_obs::{
+    MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs, Rule, TelemetryBundle, Watchdog,
+};
 use vcdn_trace::Trace;
 use vcdn_types::json::Json;
 use vcdn_types::{
@@ -179,6 +182,13 @@ pub struct EngineConfig {
     /// [`ShardedEngine::attach_obs`] (0 disables sketching). Detached
     /// engines never sketch, preserving off-means-free.
     pub topk: usize,
+    /// Trace-time width of one health window
+    /// ([`vcdn_obs::window`]); rings are armed per shard by
+    /// [`ShardedEngine::attach_obs`] ([`DurationMs::ZERO`] disables them).
+    /// Detached engines never hold rings, preserving off-means-free.
+    pub window: DurationMs,
+    /// Closed health windows each shard's bounded ring retains.
+    pub window_retain: usize,
 }
 
 impl EngineConfig {
@@ -210,6 +220,8 @@ impl EngineConfig {
             queue_depth: 8,
             check_invariants: true,
             topk: 8,
+            window: DurationMs::HOUR,
+            window_retain: 768,
         })
     }
 
@@ -259,6 +271,24 @@ impl EngineConfig {
     /// Overrides the per-shard heavy-hitter sketch capacity (0 disables).
     pub fn with_topk(mut self, k: usize) -> Self {
         self.topk = k;
+        self
+    }
+
+    /// Overrides the health-window width ([`DurationMs::ZERO`] disables
+    /// the window plane even when observed).
+    pub fn with_window(mut self, width: DurationMs) -> Self {
+        self.window = width;
+        self
+    }
+
+    /// Overrides the per-shard window-ring bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero.
+    pub fn with_window_retain(mut self, retain: usize) -> Self {
+        assert!(retain > 0, "window retain must be > 0");
+        self.window_retain = retain;
         self
     }
 
@@ -418,6 +448,15 @@ struct EngineShard {
     /// Heavy-hitter sketch over the shard's video stream; present only
     /// while observed and `cfg.topk > 0` (off means free).
     topk: Option<SpaceSaving>,
+    /// Health-window ring over the shard's request sub-stream; present
+    /// only while observed and `cfg.window > 0` (off means free). Never
+    /// flushed mid-lifetime: warm continuation keeps feeding the open
+    /// window, and reports merge non-destructive snapshots.
+    window: Option<WindowRing>,
+    /// Dispatch tick (+1) of the shard's last request, for the logical
+    /// queue-gap sketch: the first arrival measures its distance from
+    /// the stream start, matching [`DispatchSpans`] semantics.
+    last_tick_plus1: u64,
 }
 
 /// Per-run context shared (immutably) by every worker.
@@ -430,10 +469,12 @@ struct RunCtx<'a> {
 }
 
 /// Handles one request on its owning shard: decide, verify, account.
-/// This — plus [`shard_of_video`] in the dispatch loop — is the engine's
-/// per-request path: no allocation, no map churn, no locks.
+/// `tick` is the request's global dispatch index (trace order), used for
+/// the window plane's logical queue-gap sketch. This — plus
+/// [`shard_of_video`] in the dispatch loop — is the engine's per-request
+/// path: no allocation, no map churn, no locks.
 // lint: hot
-fn process(shard: &mut EngineShard, request: &Request, ctx: &RunCtx<'_>) {
+fn process(shard: &mut EngineShard, request: &Request, tick: u64, ctx: &RunCtx<'_>) {
     let chunks = request.chunk_len(ctx.chunk_size);
     let decision = shard.policy.handle_request(request);
     shard.requests += 1;
@@ -445,7 +486,7 @@ fn process(shard: &mut EngineShard, request: &Request, ctx: &RunCtx<'_>) {
         spans.record(obs.sink.as_ref(), evicted);
     }
     let in_steady = request.t >= ctx.steady_from;
-    match decision {
+    match &decision {
         Decision::Serve(o) => {
             if ctx.check_invariants {
                 assert_eq!(
@@ -491,6 +532,32 @@ fn process(shard: &mut EngineShard, request: &Request, ctx: &RunCtx<'_>) {
                 obs.sink.counter_add(obs.redirect_chunks, chunks);
             }
         }
+    }
+    if let Some(ring) = shard.window.as_mut() {
+        let gap = tick + 1 - shard.last_tick_plus1;
+        shard.last_tick_plus1 = tick + 1;
+        let (hit_chunks, filled_chunks, evicted_chunks) = match &decision {
+            Decision::Serve(o) => (o.hit_chunks, o.filled_chunks, o.evicted.len() as u64),
+            Decision::Redirect => (0, 0, 0),
+        };
+        let input = WindowInput {
+            t_ms: request.t.as_millis(),
+            hit_bytes: hit_chunks * ctx.k_bytes,
+            fill_bytes: filled_chunks * ctx.k_bytes,
+            redirect_bytes: if matches!(decision, Decision::Redirect) {
+                chunks * ctx.k_bytes
+            } else {
+                0
+            },
+            filled_chunks,
+            evicted_chunks,
+            request_chunks: chunks,
+            queue_gap: Some(gap),
+        };
+        // Shard-level detection runs at report time over the merged
+        // windows (Watchdog::run in engine_bundle), so closing needs no
+        // callback here.
+        ring.record(&input, &mut |_| {});
     }
 }
 
@@ -553,6 +620,17 @@ pub struct EngineReport {
     /// Per-shard sketch capacity in effect (0 when the engine ran
     /// detached and no sketches existed). Excluded from equality.
     pub topk_k: usize,
+    /// Health windows merged across shards, in index order (empty when
+    /// the engine ran detached). Excluded from equality like
+    /// `top_videos`: the windows themselves are worker-count-invariant,
+    /// but an instrumented report must still compare equal to a detached
+    /// baseline's.
+    pub windows: Vec<WindowStats>,
+    /// Window width in effect (0 when detached). Excluded from equality.
+    pub window_ms: u64,
+    /// Closed windows evicted from the per-shard rings before this
+    /// report, summed across shards. Excluded from equality.
+    pub windows_dropped: u64,
 }
 
 impl PartialEq for EngineReport {
@@ -655,6 +733,8 @@ impl ShardedEngine {
                 requests: 0,
                 spans: None,
                 topk: None,
+                window: None,
+                last_tick_plus1: 0,
             });
         }
         Ok(ShardedEngine {
@@ -705,6 +785,8 @@ impl ShardedEngine {
                 .attach_obs(PolicyObs::attach(Arc::clone(sink), &shard_scope));
             shard.spans = Some(ShardSpans::attach(sink, scope, i));
             shard.topk = (topk > 0).then(|| SpaceSaving::new(topk));
+            shard.window = (self.cfg.window.as_millis() > 0)
+                .then(|| WindowRing::new(self.cfg.window.as_millis(), self.cfg.window_retain));
         }
         self.spans = Some(DispatchSpans::attach(sink, scope, self.cfg.shards));
         self.obs = Some(EngineObs::attach(sink, scope));
@@ -748,6 +830,10 @@ impl ShardedEngine {
             obs: self.obs.as_ref(),
         };
         let requests = &trace.requests[..limit];
+        // Global dispatch tick of this run's first request: the u32 batch
+        // index plus this base IS the request's trace-order position over
+        // the engine's lifetime (warm continuation keeps it monotone).
+        let tick_base = self.dispatched;
 
         if workers == 1 {
             // Inline fast path: no queues, no extra threads — the honest
@@ -755,12 +841,12 @@ impl ShardedEngine {
             // The calling thread plays dispatcher and worker, so it ticks
             // the dispatch clock in the same trace order the threaded
             // dispatcher would — exports stay worker-count-invariant.
-            for request in requests {
+            for (i, request) in requests.iter().enumerate() {
                 let s = shard_of_video(request.video, n);
                 if let Some(spans) = self.spans.as_mut() {
                     spans.record(s);
                 }
-                process(&mut self.shards[s], request, &ctx);
+                process(&mut self.shards[s], request, tick_base + i as u64, &ctx);
             }
         } else {
             let batch = self.cfg.batch;
@@ -800,7 +886,7 @@ impl ShardedEngine {
                                 for &idx in &batch {
                                     let request = &requests[idx as usize];
                                     let s = shard_of_video(request.video, n);
-                                    process(own[s / workers], request, ctx);
+                                    process(own[s / workers], request, tick_base + idx as u64, ctx);
                                 }
                                 let service_ns = served.elapsed().as_nanos() as u64;
                                 if let Some(obs) = ctx.obs {
@@ -818,7 +904,7 @@ impl ShardedEngine {
                                 for &idx in &batch {
                                     let request = &requests[idx as usize];
                                     let s = shard_of_video(request.video, n);
-                                    process(own[s / workers], request, ctx);
+                                    process(own[s / workers], request, tick_base + idx as u64, ctx);
                                 }
                                 queue.recycle(batch);
                             }
@@ -895,6 +981,14 @@ impl ShardedEngine {
 
     /// The engine's cumulative report (all requests run so far).
     pub fn report(&self) -> EngineReport {
+        // Non-destructive per-shard window snapshots (closed + dirty open)
+        // folded into one engine-level grid. The fold is associative and
+        // order-invariant, so the result is worker-count-invariant.
+        let window_sets: Vec<Vec<WindowStats>> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.window.as_ref().map(WindowRing::snapshot_windows))
+            .collect();
         EngineReport {
             shards: self
                 .shards
@@ -923,18 +1017,38 @@ impl ShardedEngine {
             } else {
                 0
             },
+            window_ms: if window_sets.is_empty() {
+                0
+            } else {
+                self.cfg.window.as_millis()
+            },
+            windows_dropped: self
+                .shards
+                .iter()
+                .filter_map(|s| s.window.as_ref().map(WindowRing::dropped))
+                .sum(),
+            windows: merge_windows(&window_sets),
         }
     }
 }
 
 /// Packages an engine run as a `vcdn-telemetry/1` bundle: a meta line
 /// identifying the engine run plus the registry's deterministic metric
-/// snapshots (per-shard policy scopes and the engine aggregates).
+/// snapshots (per-shard policy scopes and the engine aggregates), the
+/// merged health windows, and the watchdog alerts the `rules` produce
+/// over them (pass [`vcdn_obs::default_rules`] for the stock rule set).
 ///
 /// The worker count is deliberately **not** part of the meta line: bundles
 /// are byte-identical across worker counts, extending the repo-wide
-/// telemetry determinism contract to the concurrent engine.
-pub fn engine_bundle(report: &EngineReport, registry: &MetricsRegistry) -> TelemetryBundle {
+/// telemetry determinism contract to the concurrent engine. Detection
+/// here is batch — the merged engine-level grid only exists at report
+/// time — and runs with `streams` = shard count, so the skew metric
+/// reads max-shard/mean-shard load.
+pub fn engine_bundle(
+    report: &EngineReport,
+    registry: &MetricsRegistry,
+    rules: &[Rule],
+) -> TelemetryBundle {
     let mut bundle = TelemetryBundle::new();
     bundle.meta_entry("source", Json::Str("engine".into()));
     bundle.meta_entry(
@@ -956,6 +1070,7 @@ pub fn engine_bundle(report: &EngineReport, registry: &MetricsRegistry) -> Telem
     bundle.meta_entry("fill_bytes", Json::Int(agg.fill_bytes as i128));
     bundle.meta_entry("redirect_bytes", Json::Int(agg.redirect_bytes as i128));
     bundle.meta_entry("topk_k", Json::Int(report.topk_k as i128));
+    bundle.meta_entry("window_ms", Json::Int(report.window_ms as i128));
     bundle.metrics = registry.snapshot(true);
     for shard in &report.shards {
         for (i, e) in shard.top_videos.iter().enumerate() {
@@ -970,6 +1085,18 @@ pub fn engine_bundle(report: &EngineReport, registry: &MetricsRegistry) -> Telem
             });
         }
     }
+    bundle.windows = report
+        .windows
+        .iter()
+        .map(|w| WindowRecord::from_stats(w, report.costs))
+        .collect();
+    bundle.windows_dropped = report.windows_dropped;
+    bundle.alerts = Watchdog::run(
+        rules,
+        report.costs,
+        report.shards.len() as u64,
+        &report.windows,
+    );
     bundle
 }
 
@@ -1273,7 +1400,7 @@ mod tests {
             let mut engine = xlru_engine(4, 96);
             engine.attach_obs(&sink, "e0");
             let report = engine.run(&t, workers);
-            engine_bundle(&report, &registry).to_jsonl()
+            engine_bundle(&report, &registry, &vcdn_obs::default_rules()).to_jsonl()
         };
         let w1 = jsonl_for(1);
         let w4 = jsonl_for(4);
@@ -1283,16 +1410,54 @@ mod tests {
             vcdn_types::json::parse(line)
                 .unwrap_or_else(|e| panic!("bad JSONL line {line}: {e:?}"));
         }
-        // The invariant covers the new record kinds too: span metrics and
-        // heavy-hitter lines are part of the byte-compared payload.
+        // The invariant covers the new record kinds too: span metrics,
+        // heavy-hitter lines and health windows are part of the
+        // byte-compared payload.
         assert!(w1.contains("\"topk_k\":8"));
         assert!(w1.contains("\"type\":\"topk\""));
+        assert!(w1.contains("\"type\":\"window\""));
         assert!(w1.contains("span.dispatched_total"));
         assert!(w1.contains("span.queue_gap"));
         assert!(w1.contains("span.skew_requests_x1000"));
         // And no wall-clock plane ever leaks into a bundle.
         assert!(!w1.contains("batch_wait_ns"));
         assert!(!w1.contains("dispatch_push_ns"));
+    }
+
+    #[test]
+    fn engine_windows_conserve_report_totals() {
+        let t = trace();
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink: Arc<dyn MetricsSink> = registry.clone();
+        let mut engine = xlru_engine(4, 96);
+        engine.attach_obs(&sink, "e0");
+        let report = engine.run(&t, 3);
+        assert_eq!(report.window_ms, DurationMs::HOUR.as_millis());
+        assert_eq!(report.windows_dropped, 0, "12h trace fits the ring");
+        assert!(!report.windows.is_empty());
+        // Merged windows form a contiguous grid starting at window 0.
+        for (i, w) in report.windows.iter().enumerate() {
+            assert_eq!(w.index, report.windows[0].index + i as u64);
+        }
+        assert_eq!(report.windows[0].index, 0);
+        // Σ(window deltas) equals the report's aggregate accounting: the
+        // shard rings saw every request exactly once.
+        let sum = report
+            .windows
+            .iter()
+            .fold(TrafficCounter::default(), |acc, w| acc + w.traffic);
+        assert_eq!(sum, report.aggregate_overall());
+        // One queue-gap sample per dispatched request, mirroring the
+        // span-plane histograms.
+        let gaps: u64 = report.windows.iter().map(|w| w.queue_gap.count).sum();
+        assert_eq!(gaps, t.len() as u64);
+        // A detached engine exports no windows (off means free).
+        let mut detached = xlru_engine(4, 96);
+        let bare = detached.run(&t, 3);
+        assert!(bare.windows.is_empty());
+        assert_eq!(bare.window_ms, 0);
+        // Equality still holds across the instrumentation divide.
+        assert_eq!(bare, report);
     }
 
     #[test]

@@ -13,13 +13,14 @@ use std::sync::Arc;
 
 use vcdn_core::CachePolicy;
 use vcdn_obs::topk::{SpaceSaving, TopKRecord};
+use vcdn_obs::window::{WindowInput, WindowRecord, WindowRing};
 use vcdn_obs::{
-    DecisionEvent, EventRing, MetricId, MetricKind, MetricsRegistry, MetricsSink, PolicyObs,
-    ReplaySampler, TelemetryBundle, Verdict,
+    default_rules, DecisionEvent, EventRing, MetricId, MetricKind, MetricsRegistry, MetricsSink,
+    PolicyObs, ReplaySampler, Rule, TelemetryBundle, Verdict, Watchdog,
 };
 use vcdn_trace::Trace;
 use vcdn_types::json::Json;
-use vcdn_types::{ChunkId, Decision, DurationMs};
+use vcdn_types::{ChunkId, CostModel, Decision, DurationMs};
 
 use crate::replay::{DecisionCtx, ReplayObserver, ReplayReport, Replayer};
 use crate::runner::{Cell, CellResult};
@@ -40,17 +41,26 @@ pub struct TelemetryConfig {
     /// Slots in the Space-Saving heavy-hitter sketch over the replay's
     /// video stream (0 disables the sketch and the bundle's topk lines).
     pub topk_k: usize,
+    /// Trace-time width of one health window ([`vcdn_obs::window`]);
+    /// [`DurationMs::ZERO`] disables the window plane and the watchdog.
+    pub window: DurationMs,
+    /// Closed health windows retained in the bounded ring (the watchdog
+    /// still sees every window at close time; only the export is bounded).
+    pub window_retain: usize,
 }
 
 impl TelemetryConfig {
     /// Hourly samples, 4096 retained events, an 8-slot heavy-hitter
-    /// sketch, no wall-clock timing.
+    /// sketch, hourly health windows retaining the last 768 (32 days of
+    /// trace time), no wall-clock timing.
     pub fn new() -> TelemetryConfig {
         TelemetryConfig {
             sample_interval: DurationMs::HOUR,
             event_capacity: 4096,
             time_decisions: false,
             topk_k: 8,
+            window: DurationMs::HOUR,
+            window_retain: 768,
         }
     }
 
@@ -83,6 +93,24 @@ impl TelemetryConfig {
         self.topk_k = k;
         self
     }
+
+    /// Overrides the health-window width ([`DurationMs::ZERO`] disables
+    /// the window plane and the watchdog).
+    pub fn with_window(mut self, width: DurationMs) -> Self {
+        self.window = width;
+        self
+    }
+
+    /// Overrides the window-ring bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero.
+    pub fn with_window_retain(mut self, retain: usize) -> Self {
+        assert!(retain > 0, "window retain must be > 0");
+        self.window_retain = retain;
+        self
+    }
 }
 
 impl Default for TelemetryConfig {
@@ -104,6 +132,9 @@ pub struct TelemetryObserver {
     ring: EventRing,
     sampler: ReplaySampler,
     topk: Option<SpaceSaving>,
+    windows: Option<WindowRing>,
+    watchdog: Watchdog,
+    costs: CostModel,
     chunk_bytes: u64,
     time_decisions: bool,
     meta: Vec<(String, Json)>,
@@ -130,10 +161,21 @@ impl TelemetryObserver {
             ring: EventRing::new(telemetry.event_capacity),
             sampler: ReplaySampler::new(telemetry.sample_interval.as_millis(), cfg.costs),
             topk: (telemetry.topk_k > 0).then(|| SpaceSaving::new(telemetry.topk_k)),
+            windows: (telemetry.window.as_millis() > 0)
+                .then(|| WindowRing::new(telemetry.window.as_millis(), telemetry.window_retain)),
+            // The unsharded replayer is one request stream.
+            watchdog: Watchdog::new(default_rules(), cfg.costs, 1),
+            costs: cfg.costs,
             chunk_bytes: cfg.chunk_size.bytes(),
             time_decisions: telemetry.time_decisions,
             meta: Vec::new(),
         }
+    }
+
+    /// Replaces the watchdog's rule set (call before replaying; the
+    /// default is [`vcdn_obs::default_rules`]).
+    pub fn set_rules(&mut self, rules: Vec<Rule>) {
+        self.watchdog = Watchdog::new(rules, self.costs, 1);
     }
 
     /// Adds a metadata entry to the eventual bundle's meta line.
@@ -148,12 +190,22 @@ impl TelemetryObserver {
     }
 
     /// Consumes the observer, assembling the bundle: meta entries, the
-    /// registry's deterministic metric snapshots, the time series and the
-    /// retained events.
-    pub fn finish(self) -> TelemetryBundle {
+    /// registry's deterministic metric snapshots, the health windows and
+    /// watchdog alerts, the time series and the retained events.
+    pub fn finish(mut self) -> TelemetryBundle {
         let mut bundle = TelemetryBundle::new();
         bundle.meta = self.meta;
         bundle.metrics = self.registry.snapshot(true);
+        if let Some(mut ring) = self.windows.take() {
+            let watchdog = &mut self.watchdog;
+            ring.finish(&mut |w| watchdog.on_window(w));
+            bundle.windows = ring
+                .closed_windows()
+                .map(|w| WindowRecord::from_stats(w, self.costs))
+                .collect();
+            bundle.windows_dropped = ring.dropped();
+        }
+        bundle.alerts = self.watchdog.into_alerts();
         if let Some(sketch) = &self.topk {
             for (i, e) in sketch.entries().iter().enumerate() {
                 bundle.topk.push(TopKRecord {
@@ -213,6 +265,21 @@ impl ReplayObserver for TelemetryObserver {
             ctx.capacity_chunks,
             ctx.detail.cache_age_ms,
         );
+        if let Some(ring) = self.windows.as_mut() {
+            let input = WindowInput {
+                t_ms: ctx.request.t.as_millis(),
+                hit_bytes: hit_b,
+                fill_bytes: fill_b,
+                redirect_bytes: red_b,
+                // fill_b is exactly filled_chunks · chunk_bytes.
+                filled_chunks: fill_b / self.chunk_bytes,
+                evicted_chunks: evicted,
+                request_chunks: ctx.chunks,
+                queue_gap: None,
+            };
+            let watchdog = &mut self.watchdog;
+            ring.record(&input, &mut |w| watchdog.on_window(w));
+        }
         if let Some(ns) = ctx.latency_ns {
             self.registry.observe(self.latency_id, ns);
         }
@@ -247,6 +314,7 @@ pub fn replay_with_telemetry(
         "interval_ms",
         Json::Int(telemetry.sample_interval.as_millis() as i128),
     );
+    observer.meta_entry("window_ms", Json::Int(telemetry.window.as_millis() as i128));
     observer.meta_entry("topk_k", Json::Int(telemetry.topk_k as i128));
     observer.meta_entry("trace", Json::Str(trace.meta.name.clone()));
     observer.meta_entry("requests", Json::Int(trace.len() as i128));
@@ -325,8 +393,60 @@ mod tests {
         assert_eq!(report, baseline);
         assert!(!bundle.metrics.is_empty());
         assert!(!bundle.topk.is_empty());
+        assert!(!bundle.windows.is_empty());
         assert!(!bundle.series.is_empty());
         assert!(!bundle.events.is_empty());
+    }
+
+    #[test]
+    fn windows_conserve_the_replay_totals() {
+        // With no ring eviction, the sum of exported window deltas must
+        // equal the replay's overall counters exactly, and window indices
+        // must be contiguous from 0.
+        let t = trace();
+        let costs = CostModel::from_alpha(2.0).unwrap();
+        let mut cache = XlruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let (report, bundle) =
+            replay_with_telemetry(&replayer(costs), &t, &mut cache, &TelemetryConfig::new());
+        assert_eq!(bundle.windows_dropped, 0);
+        let mut hit = 0u64;
+        let mut fill = 0u64;
+        let mut red = 0u64;
+        let mut served = 0u64;
+        let mut redirected = 0u64;
+        for (i, w) in bundle.windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64, "window indices must be contiguous");
+            hit += w.hit_bytes;
+            fill += w.fill_bytes;
+            red += w.redirect_bytes;
+            served += w.served_requests;
+            redirected += w.redirected_requests;
+        }
+        assert_eq!(hit, report.overall.hit_bytes);
+        assert_eq!(fill, report.overall.fill_bytes);
+        assert_eq!(red, report.overall.redirect_bytes);
+        assert_eq!(served, report.overall.served_requests);
+        assert_eq!(redirected, report.overall.redirected_requests);
+        // The replayer is a single stream: skew inputs must reflect that.
+        for w in &bundle.windows {
+            assert_eq!(
+                w.max_stream_requests,
+                w.served_requests + w.redirected_requests
+            );
+            assert_eq!(w.queue_gap_count, 0, "no dispatcher, no gap sketch");
+        }
+    }
+
+    #[test]
+    fn disabling_windows_removes_the_sections() {
+        let t = trace();
+        let costs = CostModel::balanced();
+        let mut cache = LruCache::new(CacheConfig::new(64, ChunkSize::DEFAULT, costs));
+        let cfg = TelemetryConfig::new().with_window(DurationMs::ZERO);
+        let (_, bundle) = replay_with_telemetry(&replayer(costs), &t, &mut cache, &cfg);
+        assert!(bundle.windows.is_empty());
+        assert!(bundle.alerts.is_empty());
+        assert_eq!(bundle.windows_dropped, 0);
     }
 
     #[test]

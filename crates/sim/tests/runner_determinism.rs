@@ -160,11 +160,12 @@ fn engine_counters_identical_at_1_2_4_8_workers() {
 
 /// The observability extension at the engine level: an *instrumented*
 /// engine's telemetry bundle — span counters, queue-gap histograms,
-/// load-share and skew gauges, and the per-shard heavy-hitter tables —
-/// serialises to byte-identical JSONL at 1, 2, 4 and 8 workers. This is
-/// the deterministic-tracing contract: logical-clock spans and sketches
-/// depend only on the trace order, never on thread interleaving (the
-/// wall-clock timing histograms are excluded from the export by kind).
+/// load-share and skew gauges, the per-shard heavy-hitter tables, and
+/// the window/alert sections — serialises to byte-identical JSONL at
+/// 1, 2, 4 and 8 workers. This is the deterministic-tracing contract:
+/// logical-clock spans, sketches and tumbling windows depend only on the
+/// trace order, never on thread interleaving (the wall-clock timing
+/// histograms are excluded from the export by kind).
 #[test]
 fn engine_bundle_identical_at_1_2_4_8_workers() {
     let trace = trace();
@@ -180,16 +181,36 @@ fn engine_bundle_identical_at_1_2_4_8_workers() {
         .expect("engine builds");
         engine.attach_obs(&sink, "det");
         let report = engine.run(&trace, workers);
-        engine_bundle(&report, &registry).to_jsonl()
+        engine_bundle(&report, &registry, &vcdn_obs::default_rules()).to_jsonl()
     };
     let baseline = bundle_at(1);
     assert!(baseline.contains("\"type\":\"topk\""), "sketch exported");
     assert!(baseline.contains("span.dispatched_total"), "spans exported");
+    assert!(baseline.contains("\"type\":\"window\""), "windows exported");
     for workers in [2, 4, 8] {
+        let run = bundle_at(workers);
         assert_eq!(
-            baseline,
-            bundle_at(workers),
+            baseline, run,
             "engine telemetry bundle diverged at {workers} workers"
+        );
+        // Spell out the new sections so a future drift failure names
+        // them: every window and alert line is byte-identical too.
+        let section = |jsonl: &str, kind: &str| -> Vec<String> {
+            jsonl
+                .lines()
+                .filter(|l| l.contains(&format!("\"type\":\"{kind}\"")))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            section(&baseline, "window"),
+            section(&run, "window"),
+            "window sections diverged at {workers} workers"
+        );
+        assert_eq!(
+            section(&baseline, "alert"),
+            section(&run, "alert"),
+            "alert sections diverged at {workers} workers"
         );
     }
 }

@@ -40,6 +40,8 @@ struct Bundle {
     meta: Json,
     metrics: usize,
     topk: Vec<Json>,
+    windows: Vec<Json>,
+    alerts: Vec<Json>,
     samples: usize,
     events: usize,
 }
@@ -54,6 +56,8 @@ fn parse_sample() -> Vec<Bundle> {
                 meta: j,
                 metrics: 0,
                 topk: Vec::new(),
+                windows: Vec::new(),
+                alerts: Vec::new(),
                 samples: 0,
                 events: 0,
             }),
@@ -64,6 +68,8 @@ fn parse_sample() -> Vec<Bundle> {
                 match kind {
                     "metric" => b.metrics += 1,
                     "topk" => b.topk.push(j),
+                    "window" => b.windows.push(j),
+                    "alert" => b.alerts.push(j),
                     "sample" => b.samples += 1,
                     "event" => b.events += 1,
                     other => panic!("line {}: unknown record type {other:?}", i + 1),
@@ -95,15 +101,48 @@ fn sample_meta_counts_match_the_lines() {
         let label = b.meta.get("policy").and_then(Json::as_str).unwrap_or("?");
         assert_eq!(meta_u64(&b.meta, "metrics"), b.metrics as u64, "{label}");
         assert_eq!(meta_u64(&b.meta, "topk"), b.topk.len() as u64, "{label}");
+        assert_eq!(
+            meta_u64(&b.meta, "windows"),
+            b.windows.len() as u64,
+            "{label}"
+        );
+        assert_eq!(
+            meta_u64(&b.meta, "alerts"),
+            b.alerts.len() as u64,
+            "{label}"
+        );
         assert_eq!(meta_u64(&b.meta, "samples"), b.samples as u64, "{label}");
         assert_eq!(meta_u64(&b.meta, "events"), b.events as u64, "{label}");
         // Daily samples over 30 days: t = 0d .. 30d inclusive.
         assert_eq!(b.samples, 31, "{label}");
         assert_eq!(b.events, 64, "{label}");
+        // Daily health windows: days 0..29 plus the flushed tail window.
+        assert_eq!(b.windows.len(), 31, "{label}");
+        assert_eq!(meta_u64(&b.meta, "windows_dropped"), 0, "{label}");
         assert_eq!(
             meta_u64(&b.meta, "events_dropped"),
             REQUESTS - b.events as u64,
             "{label}"
+        );
+    }
+}
+
+#[test]
+fn sample_windows_are_contiguous_and_flag_the_warmup_churn() {
+    for b in parse_sample() {
+        let label = b.meta.get("policy").and_then(Json::as_str).unwrap_or("?");
+        for (i, w) in b.windows.iter().enumerate() {
+            assert_eq!(meta_u64(w, "index"), i as u64, "{label}");
+        }
+        // Day 0 fills the empty disk, so every policy's warm-up window
+        // trips the occupancy-churn threshold — the one expected alert
+        // in a healthy 30-day replay.
+        assert!(
+            b.alerts.iter().any(|a| {
+                a.get("rule").and_then(Json::as_str) == Some("occupancy-churn")
+                    && meta_u64(a, "window") == 0
+            }),
+            "{label}: no warm-up churn alert at window 0"
         );
     }
 }
