@@ -57,7 +57,7 @@ fn churn(trace: &vcdn_trace::Trace, capacity: u64, granularity: Option<u64>) -> 
             continue; // already stored once; cache-hit, no allocation churn
         }
         let len = r.byte_len();
-        stats.payload_bytes += len;
+        stats.payload_bytes = stats.payload_bytes.saturating_add(len);
         let pieces: Vec<u64> = match granularity {
             None => vec![len],
             Some(k) => {
@@ -72,7 +72,7 @@ fn churn(trace: &vcdn_trace::Trace, capacity: u64, granularity: Option<u64>) -> 
                     Ok(_) => {
                         fifo.push_back(next_id);
                         next_id += 1;
-                        stats.stored_bytes += piece;
+                        stats.stored_bytes = stats.stored_bytes.saturating_add(piece);
                         break;
                     }
                     Err(AllocError::Fragmented) | Err(AllocError::NeedEviction) => {
@@ -80,7 +80,7 @@ fn churn(trace: &vcdn_trace::Trace, capacity: u64, granularity: Option<u64>) -> 
                             break;
                         };
                         if let Some(freed) = alloc.free(victim) {
-                            stats.evicted_bytes += freed;
+                            stats.evicted_bytes = stats.evicted_bytes.saturating_add(freed);
                         }
                     }
                     Err(e) => panic!("unexpected allocator error: {e}"),
@@ -124,7 +124,7 @@ fn main() {
     table.row(vec![
         "variable-size segments".into(),
         bytes(variable.stored_bytes),
-        bytes(variable.stored_bytes - variable.payload_bytes),
+        bytes(variable.stored_bytes.saturating_sub(variable.payload_bytes)),
         bytes(variable.evicted_bytes),
         variable.fragmentation_failures.to_string(),
         format!("{:.3}", variable.peak_fragmentation),
@@ -132,14 +132,14 @@ fn main() {
     table.row(vec![
         format!("fixed {k} chunks (paper)"),
         bytes(chunked.stored_bytes),
-        bytes(chunked.stored_bytes - chunked.payload_bytes),
+        bytes(chunked.stored_bytes.saturating_sub(chunked.payload_bytes)),
         bytes(chunked.evicted_bytes),
         chunked.fragmentation_failures.to_string(),
         format!("{:.3}", chunked.peak_fragmentation),
     ]);
     println!("== Ablation A10: variable segments vs fixed chunks (europe fill churn) ==");
     println!("{}", table.render());
-    let internal = chunked.stored_bytes - chunked.payload_bytes;
+    let internal = chunked.stored_bytes.saturating_sub(chunked.payload_bytes);
     println!(
         "the tradeoff, quantified: variable segments hit {} fragmentation \
          stalls (peak external fragmentation {:.0}%) and need a free-list \

@@ -77,10 +77,10 @@ pub fn flash_crowd_trace(spec: &FlashCrowdSpec) -> Trace {
     let mut rng = DetRng::new(EXPERIMENT_SEED ^ 0xf1a5_4c40);
     let mut burst: Vec<Request> = (0..spec.burst_requests)
         .map(|i| {
-            let t = start_ms + (i as u64 * burst_ms) / spec.burst_requests as u64;
+            let t = start_ms.saturating_add((i as u64 * burst_ms) / spec.burst_requests as u64);
             let video = VideoId(first_viral + rng.below(spec.renditions));
-            let start = rng.below(spec.rendition_bytes - spec.request_bytes + 1);
-            let bytes = ByteRange::new(start, start + spec.request_bytes - 1)
+            let start = rng.below(spec.rendition_bytes.saturating_sub(spec.request_bytes) + 1);
+            let bytes = ByteRange::new(start, start.saturating_add(spec.request_bytes) - 1)
                 .expect("start <= end by construction");
             Request::new(video, bytes, Timestamp(t))
         })

@@ -12,8 +12,11 @@
 //!
 //! * `// lint: hot` marker comments, recorded with their line numbers
 //!   (they mark the next `fn` item as a hot path);
-//! * nothing else — allow/deny decisions live in `lint.allow`, not in
-//!   source comments, so justifications are centrally reviewable.
+//! * `// lint: wrap-ok` marker comments, recorded with their line numbers
+//!   (they waive the `clock-arith` rule on the same or the next line).
+//!
+//! Allow/deny decisions beyond those two markers live in `lint.allow`,
+//! not in source comments, so justifications stay centrally reviewable.
 
 /// The classes of token the rule engine distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +56,8 @@ pub struct Lexed {
     pub toks: Vec<Tok>,
     /// Lines carrying a `// lint: hot` marker comment.
     pub hot_marker_lines: Vec<u32>,
+    /// Lines carrying a `// lint: wrap-ok` marker comment.
+    pub wrap_ok_lines: Vec<u32>,
 }
 
 /// Lexes Rust source text.
@@ -109,12 +114,15 @@ impl Lexer<'_> {
             self.i += 1;
         }
         let text = &self.b[start..self.i];
-        // Marker syntax is deliberately rigid: "// lint: hot" (with
-        // optional leading "//" padding), nothing else on the comment.
+        // Marker syntax is deliberately rigid: "// lint: hot" or
+        // "// lint: wrap-ok" (with optional leading "//" padding),
+        // nothing else on the comment.
         if let Ok(s) = std::str::from_utf8(text) {
             let s = s.trim_start_matches('/').trim();
             if s == "lint: hot" {
                 self.out.hot_marker_lines.push(self.line);
+            } else if s == "lint: wrap-ok" {
+                self.out.wrap_ok_lines.push(self.line);
             }
         }
     }
@@ -372,6 +380,14 @@ impl Lexer<'_> {
                 b".." => "..",
                 b"&&" => "&&",
                 b"||" => "||",
+                b"+=" => "+=",
+                b"-=" => "-=",
+                b"*=" => "*=",
+                b"/=" => "/=",
+                b"%=" => "%=",
+                b"&=" => "&=",
+                b"|=" => "|=",
+                b"^=" => "^=",
                 _ => {
                     let c = self.b[self.i] as char;
                     self.i += 1;
@@ -470,6 +486,23 @@ mod tests {
     fn hot_markers_are_recorded_with_lines() {
         let lexed = lex("fn a() {}\n// lint: hot\nfn b() {}\n// lint: hotdog\n");
         assert_eq!(lexed.hot_marker_lines, vec![2]);
+    }
+
+    #[test]
+    fn wrap_ok_markers_are_recorded_with_lines() {
+        let lexed = lex("let a = b + c; // lint: wrap-ok\n// lint: wrap-okay\nx\n");
+        assert_eq!(lexed.wrap_ok_lines, vec![1]);
+    }
+
+    #[test]
+    fn compound_assignment_operators_are_single_tokens() {
+        let toks = kinds("a += b; c -= d; e *= f; g /= h; i %= j; k &= l; m |= n; o ^= p");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t.len() == 2)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="]);
     }
 
     #[test]

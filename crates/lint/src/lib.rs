@@ -17,8 +17,13 @@
 #![deny(missing_docs)]
 
 pub mod allow;
+pub mod arith;
+pub mod ast;
+pub mod flow;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 pub use allow::{AllowEntry, AllowError, AllowList};

@@ -1,0 +1,460 @@
+//! `lock-discipline`: the DESIGN.md §7 lock model for `vcdn_sim`.
+//!
+//! The sharded engine keeps deadlock-freedom by construction: every
+//! mutex scope is leaf-level. Concretely, per function:
+//!
+//! * **No nested acquisition** — while a guard from `x.lock()` is live
+//!   in the current scope, no other `.lock()` may be evaluated (this
+//!   subsumes the "dispatcher queue mutex never while a shard lock is
+//!   held" ordering rule, and bans double-locking the same mutex, which
+//!   self-deadlocks on std's non-reentrant `Mutex`).
+//! * **Paired condvar waits** — `.wait(guard)` / `.wait_timeout` /
+//!   `.wait_while` must consume a guard that is live in scope, and the
+//!   condvar must hang off the same base object as the guard's mutex
+//!   (`self.can_push.wait(st)` with `st = self.state.lock()` is the
+//!   engine's `BatchQueue` pattern: one mutex per struct, so same-object
+//!   pairing is exact).
+//!
+//! Guards die at end of scope or at an explicit `drop(guard)`. Scope:
+//! library code of `crates/sim` (the only crate with locks).
+
+use crate::ast::{Ast, Block, Expr, ExprKind, Stmt};
+use crate::rules::{FileInput, Finding};
+
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// Runs the rule on one file.
+pub fn check(input: &FileInput<'_>, ast: &Ast, out: &mut Vec<Finding>) {
+    if input.crate_name != "sim" {
+        return;
+    }
+    crate::ast::for_each_fn(ast, &mut |func, _| {
+        let Some(body) = &func.body else { return };
+        let mut ctx = Ctx {
+            guards: Vec::new(),
+            input,
+            out,
+        };
+        ctx.walk_block(body);
+    });
+}
+
+/// A live mutex guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Binding name (`st`).
+    name: String,
+    /// Render of the lock receiver (`self.state`).
+    mutex: String,
+    /// Base object of the receiver (`self`).
+    base: String,
+    /// Acquisition line.
+    line: u32,
+}
+
+struct Ctx<'a, 'b> {
+    guards: Vec<Guard>,
+    input: &'a FileInput<'a>,
+    out: &'b mut Vec<Finding>,
+}
+
+impl Ctx<'_, '_> {
+    /// Walks one lexical scope; guards bound inside it die on exit.
+    fn walk_block(&mut self, b: &Block) {
+        let scope_floor = self.guards.len();
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    names, init, line, ..
+                } => {
+                    if let Some(e) = init {
+                        // walk_expr flags nested acquisition itself.
+                        self.walk_expr(e);
+                        // Bind a guard only when the chain still *is* the
+                        // guard after error handling — `lock().take()`
+                        // extracts a value and drops the guard with the
+                        // temporary at the end of the statement.
+                        if let Some(mutex) = guard_receiver(e) {
+                            if let Some(name) = names.first() {
+                                let base = base_object(&mutex);
+                                self.guards.push(Guard {
+                                    name: name.clone(),
+                                    mutex,
+                                    base,
+                                    line: *line,
+                                });
+                            }
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    // `drop(guard)` releases early.
+                    if let ExprKind::Call { func, args } = &e.kind {
+                        if matches!(&func.kind, ExprKind::Path(s) if s.last().is_some_and(|l| l == "drop"))
+                        {
+                            if let Some(ExprKind::Path(segs)) = args.first().map(|a| &a.kind) {
+                                if segs.len() == 1 {
+                                    self.guards.retain(|g| g.name != segs[0]);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    self.walk_expr(e);
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+        self.guards.truncate(scope_floor);
+    }
+
+    /// Recursive expression walk: transient locks, waits, nested blocks.
+    fn walk_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::MethodCall {
+                base, name, args, ..
+            } => {
+                if name == "lock" {
+                    let mutex = expr_text(base);
+                    self.flag_if_nested(e.line, &mutex);
+                }
+                if WAIT_METHODS.contains(&name.as_str()) {
+                    self.check_wait(e.line, base, args);
+                }
+                self.walk_expr(base);
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            ExprKind::Call { func, args } => {
+                self.walk_expr(func);
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            ExprKind::Macro { args, .. } => {
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            ExprKind::Assign { target, value, .. } => {
+                self.walk_expr(value);
+                self.walk_expr(target);
+            }
+            ExprKind::Field(base, _) => self.walk_expr(base),
+            ExprKind::Unary { expr, .. } | ExprKind::Cast { expr, .. } => self.walk_expr(expr),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+            }
+            ExprKind::Index { base, index } => {
+                self.walk_expr(base);
+                self.walk_expr(index);
+            }
+            ExprKind::Tuple(elems) => {
+                for el in elems {
+                    self.walk_expr(el);
+                }
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for (_, v) in fields {
+                    if let Some(v) = v {
+                        self.walk_expr(v);
+                    }
+                }
+            }
+            ExprKind::Closure { body, .. } => self.walk_expr(body),
+            ExprKind::Block(b) => self.walk_block(b),
+            // Branches are joined toward "still held": a drop() inside one
+            // arm (typically followed by an early return) must not release
+            // the guard on the fall-through path.
+            ExprKind::If { cond, then, else_ } => {
+                self.walk_expr(cond);
+                let snapshot = self.guards.clone();
+                self.walk_block(then);
+                self.guards = snapshot.clone();
+                if let Some(e2) = else_ {
+                    self.walk_expr(e2);
+                    self.guards = snapshot;
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.walk_expr(scrutinee);
+                let snapshot = self.guards.clone();
+                for arm in arms {
+                    self.walk_expr(&arm.body);
+                    self.guards = snapshot.clone();
+                }
+            }
+            ExprKind::For { iter, body, .. } => {
+                self.walk_expr(iter);
+                self.walk_block(body);
+            }
+            ExprKind::While { cond, body } => {
+                self.walk_expr(cond);
+                self.walk_block(body);
+            }
+            ExprKind::Loop { body } => self.walk_block(body),
+            ExprKind::Return(Some(v)) => self.walk_expr(v),
+            ExprKind::Path(_) | ExprKind::Lit(..) | ExprKind::Return(None) | ExprKind::Other => {}
+        }
+    }
+
+    fn flag_if_nested(&mut self, line: u32, mutex: &str) {
+        if let Some(held) = self.guards.last() {
+            self.out.push(Finding {
+                rule: "lock-discipline",
+                file: self.input.rel_path.to_string(),
+                line,
+                snippet: format!("{mutex}.lock()"),
+                message: format!(
+                    "{mutex}.lock() while guard `{}` on {} (line {}) is held; \
+                     DESIGN.md §7 requires leaf-level lock scopes",
+                    held.name, held.mutex, held.line
+                ),
+            });
+        }
+    }
+
+    fn check_wait(&mut self, line: u32, condvar: &Expr, args: &[Expr]) {
+        // `guard = condvar.wait(guard)`: first argument names the guard.
+        let guard_name = args.first().and_then(|a| match &a.kind {
+            ExprKind::Path(segs) if segs.len() == 1 => Some(segs[0].as_str()),
+            _ => None,
+        });
+        let cv_text = expr_text(condvar);
+        // Only treat it as a condvar wait when the receiver is a plain
+        // place expression (skips e.g. `thread::sleep`-style false hits
+        // and receiver chains that cannot be a Condvar field).
+        if !matches!(condvar.kind, ExprKind::Field(..) | ExprKind::Path(_)) {
+            return;
+        }
+        let Some(gname) = guard_name else {
+            self.out.push(Finding {
+                rule: "lock-discipline",
+                file: self.input.rel_path.to_string(),
+                line,
+                snippet: format!("{cv_text}.wait("),
+                message: format!("{cv_text}.wait(…) without a named live mutex guard argument"),
+            });
+            return;
+        };
+        let Some(guard) = self.guards.iter().find(|g| g.name == gname) else {
+            self.out.push(Finding {
+                rule: "lock-discipline",
+                file: self.input.rel_path.to_string(),
+                line,
+                snippet: format!("{cv_text}.wait("),
+                message: format!(
+                    "{cv_text}.wait({gname}) but `{gname}` is not a live guard from .lock() in this scope"
+                ),
+            });
+            return;
+        };
+        let cv_base = base_object(&cv_text);
+        if cv_base != guard.base {
+            self.out.push(Finding {
+                rule: "lock-discipline",
+                file: self.input.rel_path.to_string(),
+                line,
+                snippet: format!("{cv_text}.wait("),
+                message: format!(
+                    "{cv_text}.wait({gname}) pairs a condvar on `{cv_base}` with a guard of {} \
+                     on `{}`; condvars must wait under their own struct's mutex",
+                    guard.mutex, guard.base
+                ),
+            });
+        }
+    }
+}
+
+/// If the expression is `<recv>.lock()` wrapped only in error handling
+/// (`unwrap` / `expect` / `unwrap_or_else`), so that binding it keeps the
+/// guard alive, returns the receiver text. Chains that go on to extract a
+/// value (`.take()`, `.len()`, …) drop the guard with the temporary.
+fn guard_receiver(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::MethodCall { base, name, .. } => {
+            if name == "lock" {
+                Some(expr_text(base))
+            } else if matches!(name.as_str(), "unwrap" | "expect" | "unwrap_or_else") {
+                guard_receiver(base)
+            } else {
+                None
+            }
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::Cast { expr, .. } => guard_receiver(expr),
+        _ => None,
+    }
+}
+
+/// Renders a place expression back to text (`self.state`, `q`, `a.b.c`).
+fn expr_text(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Path(segs) => segs.join("::"),
+        ExprKind::Field(base, name) => format!("{}.{}", expr_text(base), name),
+        ExprKind::Unary { expr, .. } => expr_text(expr),
+        ExprKind::Index { base, .. } => format!("{}[_]", expr_text(base)),
+        ExprKind::MethodCall { base, name, .. } => format!("{}.{}()", expr_text(base), name),
+        ExprKind::Call { func, .. } => format!("{}()", expr_text(func)),
+        _ => "<expr>".to_string(),
+    }
+}
+
+/// The first path segment of a place expression (`self.state` → `self`).
+fn base_object(place: &str) -> String {
+    place.split(['.', ':']).next().unwrap_or(place).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ast = parse(&lexed);
+        let input = FileInput {
+            rel_path: "crates/sim/src/engine.rs",
+            crate_name: "sim",
+            declared_features: &[],
+            lexed: &lexed,
+            ast: &ast,
+        };
+        let mut out = Vec::new();
+        check(&input, &ast, &mut out);
+        out
+    }
+
+    #[test]
+    fn engine_batch_queue_pattern_is_clean() {
+        let src = "\
+impl BatchQueue {
+    fn pop(&self) -> Batch {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.queue.is_empty() {
+            st = self.can_pop.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let b = st.queue.pop_front();
+        drop(st);
+        self.can_push.notify_one();
+        b
+    }
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn nested_lock_fires() {
+        let src = "\
+fn bad(&self) {
+    let st = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let sh = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+    st.len() + sh.len();
+}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("while guard"));
+    }
+
+    #[test]
+    fn sequential_scoped_locks_are_clean() {
+        let src = "\
+fn ok(&self) {
+    { let a = self.queue.lock().unwrap_or_else(PoisonError::into_inner); a.len(); }
+    { let b = self.shard.lock().unwrap_or_else(PoisonError::into_inner); b.len(); }
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "\
+fn ok(&self) {
+    let a = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(a);
+    let b = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+    b.len();
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn wait_on_foreign_guard_fires() {
+        let src = "\
+fn bad(&self, other: &Peer) {
+    let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let st = other.can_pop.wait(st).unwrap_or_else(PoisonError::into_inner);
+    st.len();
+}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("condvars must wait"));
+    }
+
+    #[test]
+    fn wait_without_live_guard_fires() {
+        let src = "\
+fn bad(&self, st: Thing) {
+    let st2 = self.can_pop.wait(st);
+    st2.len();
+}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("not a live guard"));
+    }
+
+    #[test]
+    fn drop_in_branch_keeps_guard_live_on_fallthrough() {
+        // The engine's pop() shape: drop + early return in one branch,
+        // wait on the guard on the fall-through path.
+        let src = "\
+impl BatchQueue {
+    fn pop(&self) -> Option<Batch> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(batch) = st.batches.pop_front() {
+                drop(st);
+                self.can_push.notify_one();
+                return Some(batch);
+            }
+            st = self.can_pop.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn lock_take_chain_is_transient_not_a_guard() {
+        // The runner's shape: the lock temporary dies at the end of each
+        // statement, so the second lock is not nested.
+        let src = "\
+fn work(&self, i: usize) {
+    let Some(job) = self.jobs.lock().unwrap_or_else(PoisonError::into_inner).take() else {
+        return;
+    };
+    let value = job();
+    self.slots.lock().unwrap_or_else(PoisonError::into_inner).replace(value);
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_silent() {
+        let lexed = lex("fn f(&self) { let a = self.m.lock(); let b = self.n.lock(); }");
+        let ast = parse(&lexed);
+        let input = FileInput {
+            rel_path: "crates/core/src/lib.rs",
+            crate_name: "core",
+            declared_features: &[],
+            lexed: &lexed,
+            ast: &ast,
+        };
+        let mut out = Vec::new();
+        check(&input, &ast, &mut out);
+        assert!(out.is_empty());
+    }
+}

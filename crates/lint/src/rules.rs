@@ -110,6 +110,72 @@ ALLOW Sites where the invariant is locally provable and a fallback would
       mask real corruption may be suppressed with a justification.",
     },
     Rule {
+        name: "determinism-flow",
+        summary: "unordered-container iteration must not reach output sinks unsanitized",
+        explain: "\
+WHAT  AST-lite taint analysis (crates/core, crates/sim, crates/obs):
+      values flowing from FastMap/FastSet/HashMap/HashSet iteration
+      (.iter/.keys/.values/.drain/.into_iter/…) may not reach an output
+      sink — writes into exported fields (.push/.extend/.append),
+      write!/writeln!/print! macros, or json/serialize/emit/render calls
+      — unless the flow passes a sanitizer first: an explicit sort
+      (sort/sort_by/sort_unstable_by_key/…), collection into a BTreeMap/
+      BTreeSet, or the vcdn_types::det_iter helpers.
+WHY   Replay output is cmp-checked bit-identical across worker counts
+      AND hashers (the std-hash CI leg swaps FxHash for SipHash).
+      Hash-map iteration order is hasher-dependent, so one unsorted
+      iteration that reaches a serialized bundle breaks the contract in
+      a way no single-configuration test can see.
+FIX   Iterate via vcdn_types::det_iter (key-sorted), or collect and sort
+      explicitly before the sink; order-insensitive folds (sum, count,
+      min/max, all/any) are recognized and stay clean.
+ALLOW Flows that are provably order-independent beyond the recognized
+      terminals (e.g. max-reduction written by hand) may be suppressed
+      with a justification.",
+    },
+    Rule {
+        name: "lock-discipline",
+        summary: "leaf-level lock scopes and paired condvar waits in vcdn_sim",
+        explain: "\
+WHAT  In crates/sim library code: while a mutex guard from x.lock() is
+      live in scope, no other .lock() may be taken (leaf-level scopes —
+      this subsumes the DESIGN.md §7 order 'never the dispatcher queue
+      mutex while a shard lock is held' and bans self-deadlocking
+      double-locks); Condvar.wait(guard) must consume a guard that is
+      live in the same scope and belongs to the same object as the
+      condvar (the BatchQueue state/can_push/can_pop pattern).
+WHY   The engine's deadlock-freedom argument is structural: every lock
+      scope is a leaf, so no lock-order cycle can exist. One nested
+      acquire silently reintroduces the possibility; a condvar waiting
+      under a foreign mutex loses its wakeups.
+FIX   Narrow the first guard's scope (drop(guard) or a block) before the
+      second acquisition; wait only on the guard of the condvar's own
+      paired mutex.
+ALLOW Intentional two-lock algorithms must document their global order
+      in DESIGN.md §7 and suppress with a justification referencing it.",
+    },
+    Rule {
+        name: "clock-arith",
+        summary: "no unchecked + - * on ms/ns clock and byte-counter identifiers",
+        explain: "\
+WHAT  Flags raw `+ - *` and `+= -= *=` where an operand is an integer-
+      classified identifier matching the counter naming convention
+      (`ms`, `ns`, `bytes`, or a `_ms`/`_ns`/`_bytes` suffix), unless a
+      `// lint: wrap-ok` marker sits on the same line or the line above.
+      Identifiers whose type cannot be resolved, and any expression with
+      a float operand, stay silent.
+WHY   Trace clocks and byte counters accumulate over month-long traces;
+      debug builds panic on overflow while release builds wrap silently,
+      corrupting replay metrics in a way the determinism harness cannot
+      catch (the wrap is deterministic too).
+FIX   saturating_add/saturating_sub/saturating_mul for metric
+      accumulation, checked_* where overflow must be surfaced,
+      wrapping_* with a `// lint: wrap-ok` marker where wrap semantics
+      are intended (hashing, ring indices).
+ALLOW Prefer the wrap-ok marker at the site; lint.allow entries are
+      accepted for generated or vendored code.",
+    },
+    Rule {
         name: "feature-gate",
         summary: "every #[cfg(feature = \"…\")] name must be declared in that crate's Cargo.toml",
         explain: "\
@@ -140,6 +206,8 @@ pub struct FileInput<'a> {
     pub declared_features: &'a [String],
     /// Lexed source.
     pub lexed: &'a Lexed,
+    /// AST-lite parse of the same source (see [`crate::ast`]).
+    pub ast: &'a crate::ast::Ast,
 }
 
 /// Runs every rule on one file, appending findings.
@@ -153,6 +221,11 @@ pub fn check_file(input: &FileInput<'_>, out: &mut Vec<Finding>) {
     float_eq_rule(input, toks, &test_mask, out);
     panic_rule(input, toks, &test_mask, out);
     feature_gate_rule(input, toks, out);
+
+    // AST-lite rule families (each scopes itself by crate internally).
+    crate::flow::check(input, input.ast, out);
+    crate::locks::check(input, input.ast, out);
+    crate::arith::check(input, input.ast, out);
 }
 
 // ---------------------------------------------------------------- masks --
@@ -612,6 +685,7 @@ mod tests {
 
     fn check(crate_name: &str, src: &str) -> Vec<Finding> {
         let lexed = lex(src);
+        let ast = crate::ast::parse(&lexed);
         let mut out = Vec::new();
         check_file(
             &FileInput {
@@ -619,6 +693,7 @@ mod tests {
                 crate_name,
                 declared_features: &["std-hash".to_string()],
                 lexed: &lexed,
+                ast: &ast,
             },
             &mut out,
         );

@@ -1,0 +1,41 @@
+//! Seeded determinism-flow violation: line 13 pushes hash-map-ordered
+//! values into an exported field. Every other function is a sanitizer
+//! path (explicit sort, BTree collection, det_iter, order-insensitive
+//! fold) and must stay silent.
+
+pub struct Report {
+    lines: Vec<String>,
+}
+
+impl Report {
+    pub fn unsorted_dump(&mut self, m: FastMap<u64, u64>) {
+        for (k, v) in m.iter() {
+            self.lines.push(format!("{k}={v}"));
+        }
+    }
+
+    pub fn sorted_dump(&mut self, m: FastMap<u64, u64>) {
+        let mut pairs: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable_by_key(|p| p.0);
+        for (k, v) in pairs {
+            self.lines.push(format!("{k}={v}"));
+        }
+    }
+
+    pub fn det_iter_dump(&mut self, m: FastMap<u64, u64>) {
+        for (k, v) in det_iter(&m) {
+            self.lines.push(format!("{k}={v}"));
+        }
+    }
+
+    pub fn btree_dump(&mut self, m: FastMap<u64, u64>) {
+        let sorted: BTreeMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        for (k, v) in sorted.iter() {
+            self.lines.push(format!("{k}={v}"));
+        }
+    }
+
+    pub fn total(&self, m: FastMap<u64, u64>) -> u64 {
+        m.values().sum()
+    }
+}

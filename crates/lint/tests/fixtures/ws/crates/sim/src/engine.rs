@@ -1,0 +1,41 @@
+//! Seeded lock-discipline violation: line 7 acquires the queue mutex
+//! while the shard guard from line 6 is still held. The BatchQueue impl
+//! below is the engine's legal wait pattern and must stay silent.
+
+pub fn drain_shard(queue: &Shared, shard: &Shared) -> usize {
+    let sh = shard.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let q = queue.state.lock().unwrap_or_else(PoisonError::into_inner);
+    sh.len() + q.len()
+}
+
+impl BatchQueue {
+    pub fn pop(&self) -> Option<u64> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(batch) = st.batches.pop_front() {
+                drop(st);
+                self.can_push.notify_one();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .can_pop
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn scoped_locks_are_fine(&self) -> usize {
+        let pushed = {
+            let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.batches.len()
+        };
+        let free = {
+            let st = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+            st.len()
+        };
+        pushed + free
+    }
+}

@@ -29,9 +29,16 @@ fn seeded_fixture_reports_one_exact_finding_per_rule() {
         .map(|f| (f.file.clone(), f.line, f.rule))
         .collect();
     let want = vec![
+        (
+            "crates/core/src/flow.rs".to_string(),
+            13,
+            "determinism-flow",
+        ),
         ("crates/core/src/lib.rs".to_string(), 5, "determinism"),
         ("crates/core/src/lib.rs".to_string(), 11, "hot-path"),
         ("crates/core/src/lib.rs".to_string(), 17, "panic"),
+        ("crates/sim/src/engine.rs".to_string(), 7, "lock-discipline"),
+        ("crates/types/src/counters.rs".to_string(), 7, "clock-arith"),
         ("crates/types/src/lib.rs".to_string(), 5, "float-eq"),
         ("crates/types/src/lib.rs".to_string(), 8, "feature-gate"),
     ];
@@ -122,9 +129,12 @@ fn cli_exit_codes_match_contract() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     for needle in [
+        "crates/core/src/flow.rs:13: [determinism-flow]",
         "crates/core/src/lib.rs:5: [determinism]",
         "crates/core/src/lib.rs:11: [hot-path]",
         "crates/core/src/lib.rs:17: [panic]",
+        "crates/sim/src/engine.rs:7: [lock-discipline]",
+        "crates/types/src/counters.rs:7: [clock-arith]",
         "crates/types/src/lib.rs:5: [float-eq]",
         "crates/types/src/lib.rs:8: [feature-gate]",
     ] {

@@ -192,7 +192,8 @@ pub struct Rule {
 /// # Errors
 ///
 /// Returns a message naming the offending line on any syntax error,
-/// unknown keyword, non-finite value, or `for 0`.
+/// unknown keyword, non-finite value, `for 0`, or duplicate rule name.
+/// An empty (or comment-only) file parses to an empty rule set.
 pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {
     let mut rules = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -229,6 +230,16 @@ pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {
         } else {
             1
         };
+        // Rule names key alert streams and re-arm state downstream, so a
+        // duplicate would silently merge two excursion trackers. Reject it
+        // here with the offending line rather than last-wins later.
+        if let Some(prev) = rules.iter().position(|r: &Rule| r.name == toks[1]) {
+            return Err(err(&format!(
+                "duplicate rule name `{}` (first defined by rule {})",
+                toks[1],
+                prev + 1
+            )));
+        }
         rules.push(Rule {
             name: toks[1].to_string(),
             severity,
@@ -482,6 +493,26 @@ mod tests {
         }
         // Comments and blanks parse to nothing.
         assert_eq!(parse_rules("# only\n\n  \n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn empty_rules_file_parses_to_no_rules() {
+        assert_eq!(parse_rules("").unwrap(), vec![]);
+        assert_eq!(parse_rules("\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn duplicate_rule_names_are_rejected_with_the_line() {
+        let text = "rule a warning efficiency gt 1\n\
+                    rule b warning efficiency gt 2\n\
+                    rule a critical redirect_rate lt 3\n";
+        let err = parse_rules(text).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("duplicate rule name `a`"), "{err}");
+        assert!(err.contains("first defined by rule 1"), "{err}");
+        // Distinct names with otherwise identical bodies stay legal.
+        let ok = "rule a warning efficiency gt 1\nrule b warning efficiency gt 1\n";
+        assert_eq!(parse_rules(ok).unwrap().len(), 2);
     }
 
     #[test]

@@ -170,7 +170,7 @@ impl ReplaySampler {
             cache_age_ms: self.cache_age_ms,
         });
         self.open = TrafficCounter::default();
-        self.open_start += self.interval_ms;
+        self.open_start = self.open_start.saturating_add(self.interval_ms);
     }
 
     /// Records one decided request. Bytes are chunk-granularity byte
@@ -201,7 +201,7 @@ impl ReplaySampler {
         );
         self.saw_request = true;
         // Close every interval that ended before this request.
-        while t_ms >= self.open_start + self.interval_ms {
+        while t_ms >= self.open_start.saturating_add(self.interval_ms) {
             self.close_open_interval();
         }
         self.open.record_hit(hit_bytes);

@@ -397,7 +397,7 @@ impl WindowRing {
     /// Panics if `input.t_ms` falls before the open window's start (trace
     /// time is non-decreasing).
     pub fn record(&mut self, input: &WindowInput, on_close: &mut dyn FnMut(&WindowStats)) {
-        let open_start = self.open.index * self.width_ms;
+        let open_start = self.open.index.saturating_mul(self.width_ms);
         assert!(
             input.t_ms >= open_start,
             "window ring fed out of order: t={}ms before window start {}ms",
@@ -405,7 +405,7 @@ impl WindowRing {
             open_start
         );
         self.saw_request = true;
-        while input.t_ms >= (self.open.index + 1) * self.width_ms {
+        while input.t_ms >= (self.open.index + 1).saturating_mul(self.width_ms) {
             self.close_open(on_close);
         }
         let w = &mut self.open;

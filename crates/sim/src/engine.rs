@@ -501,8 +501,8 @@ fn process(shard: &mut EngineShard, request: &Request, tick: u64, ctx: &RunCtx<'
                     shard.policy.name()
                 );
             }
-            let hit_b = o.hit_chunks * ctx.k_bytes;
-            let fill_b = o.filled_chunks * ctx.k_bytes;
+            let hit_b = o.hit_chunks.saturating_mul(ctx.k_bytes);
+            let fill_b = o.filled_chunks.saturating_mul(ctx.k_bytes);
             shard.overall.record_hit(hit_b);
             shard.overall.record_fill(fill_b);
             shard.overall.served_requests += 1;
@@ -520,7 +520,7 @@ fn process(shard: &mut EngineShard, request: &Request, tick: u64, ctx: &RunCtx<'
             }
         }
         Decision::Redirect => {
-            let red_b = chunks * ctx.k_bytes;
+            let red_b = chunks.saturating_mul(ctx.k_bytes);
             shard.overall.record_redirect(red_b);
             shard.overall.redirected_requests += 1;
             if in_steady {
@@ -542,10 +542,10 @@ fn process(shard: &mut EngineShard, request: &Request, tick: u64, ctx: &RunCtx<'
         };
         let input = WindowInput {
             t_ms: request.t.as_millis(),
-            hit_bytes: hit_chunks * ctx.k_bytes,
-            fill_bytes: filled_chunks * ctx.k_bytes,
+            hit_bytes: hit_chunks.saturating_mul(ctx.k_bytes),
+            fill_bytes: filled_chunks.saturating_mul(ctx.k_bytes),
             redirect_bytes: if matches!(decision, Decision::Redirect) {
-                chunks * ctx.k_bytes
+                chunks.saturating_mul(ctx.k_bytes)
             } else {
                 0
             },

@@ -113,7 +113,7 @@ pub fn replay_fleet(
                     Decision::Redirect => {
                         report.parent.record_redirect(chunks * k_bytes);
                         report.parent.redirected_requests += 1;
-                        report.origin_bytes += chunks * k_bytes;
+                        report.origin_bytes = report.origin_bytes.saturating_add(chunks * k_bytes);
                     }
                 }
             }

@@ -101,7 +101,7 @@ pub fn replay_hierarchy(
                     Decision::Redirect => {
                         report.parent.record_redirect(chunks * k);
                         report.parent.redirected_requests += 1;
-                        report.origin_bytes += chunks * k;
+                        report.origin_bytes = report.origin_bytes.saturating_add(chunks * k);
                         report.origin_requests += 1;
                     }
                 }

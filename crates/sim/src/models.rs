@@ -89,7 +89,7 @@ impl EgressModel {
             s.active_windows += 1;
             if w.traffic.served_bytes() >= self.capacity_bytes_per_window {
                 s.saturated_windows += 1;
-                s.wasted_fill_bytes += w.traffic.fill_bytes;
+                s.wasted_fill_bytes = s.wasted_fill_bytes.saturating_add(w.traffic.fill_bytes);
             }
         }
         s

@@ -239,12 +239,18 @@ impl ReplayObserver for TelemetryObserver {
                     hit_chunks: o.hit_chunks,
                     filled_chunks: o.filled_chunks,
                 },
-                o.hit_chunks * self.chunk_bytes,
-                o.filled_chunks * self.chunk_bytes,
+                o.hit_chunks.saturating_mul(self.chunk_bytes),
+                o.filled_chunks.saturating_mul(self.chunk_bytes),
                 0,
                 o.evicted.len() as u64,
             ),
-            Decision::Redirect => (Verdict::Redirect, 0, 0, ctx.chunks * self.chunk_bytes, 0),
+            Decision::Redirect => (
+                Verdict::Redirect,
+                0,
+                0,
+                ctx.chunks.saturating_mul(self.chunk_bytes),
+                0,
+            ),
         };
         self.ring.push(DecisionEvent::from_decision(
             ctx.seq,

@@ -73,7 +73,7 @@ pub fn downsample(trace: &Trace, config: &DownsampleConfig) -> Trace {
             .collect()
     };
 
-    let cap_end = config.size_cap_bytes - 1; // inclusive last allowed byte
+    let cap_end = config.size_cap_bytes.saturating_sub(1); // inclusive last allowed byte
     let requests: Vec<Request> = window
         .requests
         .iter()

@@ -106,7 +106,7 @@ pub fn expand_session(
     } else {
         0
     };
-    let remaining = video_size_bytes - seek_offset;
+    let remaining = video_size_bytes.saturating_sub(seek_offset);
 
     // How much of the remaining stream the viewer consumes.
     let frac = sample_watch_fraction(rng, config.p_full_watch, config.mean_partial_fraction);
@@ -121,7 +121,7 @@ pub fn expand_session(
         config.request_bytes.saturating_mul(1_000) / config.bitrate_bytes_per_sec.max(1),
     );
     while cursor <= end {
-        let req_end = (cursor + config.request_bytes - 1).min(end);
+        let req_end = (cursor.saturating_add(config.request_bytes) - 1).min(end);
         let bytes = ByteRange::new(cursor, req_end).expect("cursor <= req_end by construction");
         requests.push(Request::new(video, bytes, t));
         cursor = req_end + 1;

@@ -1,0 +1,96 @@
+//! Deterministic iteration over the workspace's unordered containers.
+//!
+//! `FastMap` / `FastSet` make no ordering promise, so iterating them into
+//! anything observable (JSON, bundles, report lines, exported vectors)
+//! makes output depend on the hasher. These helpers are the sanctioned
+//! bridge: they collect the entries, sort them by key, and hand back a
+//! plain iterator. `vcdn-lint`'s `determinism-flow` rule recognises the
+//! `det_` prefix as a sanitizer, so code routed through here lints clean.
+//!
+//! The cost is one allocation plus an `O(n log n)` sort, which is why
+//! these belong on report/serialization edges, not on decide paths.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasher;
+
+/// Map entries as `(&K, &V)` pairs in ascending key order.
+pub fn det_iter<K: Ord, V, S: BuildHasher>(
+    map: &HashMap<K, V, S>,
+) -> impl Iterator<Item = (&K, &V)> {
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries.into_iter()
+}
+
+/// Map keys in ascending order.
+pub fn det_keys<K: Ord, V, S: BuildHasher>(map: &HashMap<K, V, S>) -> impl Iterator<Item = &K> {
+    let mut keys: Vec<&K> = map.keys().collect();
+    keys.sort();
+    keys.into_iter()
+}
+
+/// Map values in ascending order of their keys.
+pub fn det_values<K: Ord, V, S: BuildHasher>(map: &HashMap<K, V, S>) -> impl Iterator<Item = &V> {
+    det_iter(map).map(|(_, v)| v)
+}
+
+/// Set elements in ascending order.
+pub fn det_elems<T: Ord, S: BuildHasher>(set: &HashSet<T, S>) -> impl Iterator<Item = &T> {
+    let mut elems: Vec<&T> = set.iter().collect();
+    elems.sort();
+    elems.into_iter()
+}
+
+/// Drain a map into owned `(K, V)` pairs in ascending key order.
+pub fn det_drain<K: Ord, V, S: BuildHasher>(map: &mut HashMap<K, V, S>) -> Vec<(K, V)> {
+    let mut entries: Vec<(K, V)> = map.drain().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FastMap;
+    use std::collections::HashSet;
+
+    fn sample() -> FastMap<u64, &'static str> {
+        let mut m = FastMap::default();
+        m.insert(30, "c");
+        m.insert(10, "a");
+        m.insert(20, "b");
+        m
+    }
+
+    #[test]
+    fn det_iter_is_key_sorted() {
+        let m = sample();
+        let got: Vec<(u64, &str)> = det_iter(&m).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn det_keys_and_values_agree_with_det_iter() {
+        let m = sample();
+        let keys: Vec<u64> = det_keys(&m).copied().collect();
+        let values: Vec<&str> = det_values(&m).copied().collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+        assert_eq!(values, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn det_elems_sorts_set_contents() {
+        let mut s: HashSet<u32> = HashSet::new();
+        s.extend([7, 3, 5]);
+        let got: Vec<u32> = det_elems(&s).copied().collect();
+        assert_eq!(got, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn det_drain_empties_the_map_in_order() {
+        let mut m = sample();
+        let got = det_drain(&mut m);
+        assert_eq!(got, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert!(m.is_empty());
+    }
+}
